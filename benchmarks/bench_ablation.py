@@ -1,0 +1,76 @@
+"""Ablations of design choices called out in Section 3.1 / DESIGN.md.
+
+* **literal vs corrected PerfDegThreshold guard** — as printed,
+  Listing 1's guard is a tautology (DESIGN.md substitution #4);
+  measuring both shows what the guard buys.
+* **endstop forcing on/off** — the paper reports insensitivity between
+  2 and 25 intervals but degradation with an infinite endstop.
+* **fixed vs scaled-error attack** — the paper argues a fixed
+  adjustment cannot oscillate; a huge ReactionChange emulates the
+  overshoot a scaled error would risk.
+"""
+
+from conftest import SWEEP_BENCHMARKS, pct, save_results
+
+from repro.config.algorithm import SCALED_OPERATING_POINT
+from repro.metrics.aggregate import aggregate
+from repro.reporting.tables import format_table
+
+ABLATION_BENCHMARKS = SWEEP_BENCHMARKS[:5]
+
+
+def measure(runner, label, **attack_decay_kwargs):
+    comparisons = {}
+    for bench in ABLATION_BENCHMARKS:
+        record = runner.attack_decay(bench, **attack_decay_kwargs)
+        comparisons[bench] = runner.compare_to_mcd_base(record)
+    agg = aggregate(comparisons)
+    return (
+        label,
+        pct(agg.performance_degradation),
+        pct(agg.energy_savings),
+        pct(agg.edp_improvement),
+        f"{agg.power_performance_ratio:.1f}",
+    )
+
+
+def run_ablations(runner):
+    rows = [
+        measure(runner, "corrected guard (default)", params=SCALED_OPERATING_POINT),
+        measure(
+            runner,
+            "literal Listing-1 guard",
+            params=SCALED_OPERATING_POINT,
+            literal_listing=True,
+        ),
+        measure(
+            runner,
+            "endstop effectively infinite",
+            params=SCALED_OPERATING_POINT.with_(endstop_intervals=10_000),
+        ),
+        measure(
+            runner,
+            "overshooting attack (RC=15.5%)",
+            params=SCALED_OPERATING_POINT.with_(reaction_change_pct=15.5),
+        ),
+        measure(
+            runner,
+            "timid attack (RC=0.5%)",
+            params=SCALED_OPERATING_POINT.with_(reaction_change_pct=0.5),
+        ),
+    ]
+    return rows
+
+
+def test_ablations(benchmark, runner):
+    rows = benchmark.pedantic(run_ablations, args=(runner,), rounds=1, iterations=1)
+    table = format_table(
+        ["Variant", "Perf Deg", "Energy Savings", "EDP Impr", "Ratio"],
+        rows,
+        title="Ablations (5-benchmark subset, vs baseline MCD).",
+    )
+    print("\n" + table)
+    save_results("ablation", {"rows": rows})
+    labels = [r[0] for r in rows]
+    assert "corrected guard (default)" in labels
+    assert len(rows) == 5

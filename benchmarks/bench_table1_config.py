@@ -1,0 +1,26 @@
+"""Table 1 — MCD processor configuration parameters."""
+
+from conftest import save_results
+
+from repro.config.mcd import MCDConfig
+from repro.reporting.tables import format_table
+
+
+def build_table1() -> str:
+    config = MCDConfig()
+    rows = config.table1_rows()
+    return format_table(
+        ["Parameter", "Value(s)"], rows, title="Table 1. MCD processor configuration parameters."
+    )
+
+
+def test_table1(benchmark):
+    table = benchmark(build_table1)
+    print("\n" + table)
+    save_results("table1", {"rows": MCDConfig().table1_rows()})
+    # Paper values, verbatim.
+    assert "0.65 V - 1.20 V" in table
+    assert "250 MHz - 1.0 GHz" in table
+    assert "49.1 ns/MHz" in table
+    assert "110ps" in table
+    assert "30% of 1.0 GHz clock (300ps)" in table

@@ -1,0 +1,47 @@
+"""Table 2 — Attack/Decay configuration parameter ranges."""
+
+from conftest import save_results
+
+from repro.config.algorithm import (
+    ATTACK_DECAY_PARAMETER_RANGES,
+    PAPER_OPERATING_POINT,
+    SCALED_OPERATING_POINT,
+)
+from repro.reporting.tables import format_table
+
+
+def build_table2() -> str:
+    rows = [
+        (r.name, f"{r.low:g}-{r.high:g}{'%' if r.unit == '%' else ' ' + r.unit}")
+        for r in ATTACK_DECAY_PARAMETER_RANGES.values()
+    ]
+    return format_table(
+        ["Algorithm Parameter", "Range"],
+        rows,
+        title="Table 2. Attack/Decay configuration parameters.",
+    )
+
+
+def test_table2(benchmark):
+    table = benchmark(build_table2)
+    print("\n" + table)
+    print(f"\nPaper operating point:  {PAPER_OPERATING_POINT.legend()}")
+    print(f"Scaled operating point: {SCALED_OPERATING_POINT.legend()}")
+    save_results(
+        "table2",
+        {
+            "ranges": {
+                k: (r.low, r.high) for k, r in ATTACK_DECAY_PARAMETER_RANGES.items()
+            },
+            "paper_point": PAPER_OPERATING_POINT.legend(),
+            "scaled_point": SCALED_OPERATING_POINT.legend(),
+        },
+    )
+    assert "0-2.5%" in table
+    assert "0.5-15.5%" in table
+    assert "0-2%" in table
+    assert "0-12%" in table
+    assert "1-25 intervals" in table
+    # Both operating points sit inside the Table 2 sweep ranges.
+    PAPER_OPERATING_POINT.validate_against_table2()
+    SCALED_OPERATING_POINT.validate_against_table2()

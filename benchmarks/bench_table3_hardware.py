@@ -1,0 +1,39 @@
+"""Table 3 — gate-count estimate of the Attack/Decay hardware."""
+
+from conftest import save_results
+
+from repro.control.hardware_cost import estimate_attack_decay_hardware
+from repro.reporting.tables import format_table
+
+
+def build_table3() -> str:
+    model = estimate_attack_decay_hardware()
+    rows = [(c, f, g) for c, f, g in model.table3_rows()]
+    return format_table(
+        ["Component", "Estimation", "Equivalent Gates"],
+        rows,
+        title="Table 3. Estimate of hardware resources to implement Attack/Decay.",
+    )
+
+
+def test_table3(benchmark):
+    table = benchmark(build_table3)
+    model = estimate_attack_decay_hardware()
+    print("\n" + table)
+    print(
+        f"\nPer domain: {model.gates_per_domain} gates; "
+        f"shared interval counter: {model.shared_gates}; "
+        f"four-domain total: {model.total_gates} gates (< 2,500)"
+    )
+    save_results(
+        "table3",
+        {
+            "rows": model.table3_rows(),
+            "gates_per_domain": model.gates_per_domain,
+            "total_gates": model.total_gates,
+        },
+    )
+    # Paper's numbers.
+    assert model.gates_per_domain == 476
+    assert model.shared_gates == 112
+    assert model.total_gates < 2500

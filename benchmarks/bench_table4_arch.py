@@ -1,0 +1,30 @@
+"""Table 4 — architectural parameters of the simulated core."""
+
+from conftest import save_results
+
+from repro.config.processor import ProcessorConfig
+from repro.reporting.tables import format_table
+
+
+def build_table4() -> str:
+    return format_table(
+        ["Configuration Parameter", "Value"],
+        ProcessorConfig().table4_rows(),
+        title="Table 4. Architectural parameters for simulated Alpha 21264-like processor.",
+    )
+
+
+def test_table4(benchmark):
+    table = benchmark(build_table4)
+    print("\n" + table)
+    save_results("table4", {"rows": ProcessorConfig().table4_rows()})
+    for needle in (
+        "1024 entries, history 10",
+        "4096 sets, 2-way",
+        "64KB, 2-way set associative",
+        "1MB, direct mapped",
+        "20 entries",
+        "15 entries",
+        "72 integer, 72 floating-point",
+    ):
+        assert needle in table

@@ -1,0 +1,54 @@
+"""Shared fixtures and helpers for the benchmark harness.
+
+Every bench regenerates one table or figure of the paper.  Simulation
+results are cached on disk (``results/cache``), so a bench's *timed*
+body is the assembly of the artifact; the first run populates the
+cache.
+
+Environment knobs: ``REPRO_SCALE`` (workload length multiplier),
+``REPRO_BENCHMARKS`` (comma-separated subset), ``REPRO_CACHE=0``
+(disable the cache).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.sim.experiment import ExperimentRunner
+
+RESULTS_DIR = Path(__file__).resolve().parents[1] / "results"
+
+#: Representative subset used by the sensitivity sweeps (Figures 5-7):
+#: compute-bound, FP-phased, memory-bound and branchy applications.
+SWEEP_BENCHMARKS = [
+    "adpcm",
+    "gsm",
+    "epic",
+    "mpeg2",
+    "mcf",
+    "health",
+    "gcc",
+    "swim",
+]
+
+
+@pytest.fixture(scope="session")
+def runner() -> ExperimentRunner:
+    """One cached experiment runner shared by the whole bench session."""
+    return ExperimentRunner()
+
+
+def save_results(name: str, payload: dict) -> Path:
+    """Persist a bench's artifact data under ``results/``."""
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    path = RESULTS_DIR / f"{name}.json"
+    path.write_text(json.dumps(payload, indent=1, default=str))
+    return path
+
+
+def pct(x: float) -> str:
+    """Format a fraction as a paper-style percentage."""
+    return f"{x * 100:.1f}%"

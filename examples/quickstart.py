@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Quickstart: run one benchmark under Attack/Decay and read the dials.
+
+Simulates the ``gsm`` workload three ways — fully synchronous baseline,
+baseline MCD (all domains at 1 GHz), and MCD under the Attack/Decay
+controller — then prints the paper's headline metrics.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (
+    AttackDecayController,
+    Domain,
+    SimulationSpec,
+    compare,
+    run_spec,
+    summarize,
+)
+from repro.config.algorithm import SCALED_OPERATING_POINT
+
+
+def main() -> None:
+    benchmark = "gsm"
+
+    print(f"Simulating {benchmark!r} (fully synchronous baseline)...")
+    sync = run_spec(SimulationSpec(benchmark=benchmark, mcd=False))
+
+    print(f"Simulating {benchmark!r} (baseline MCD, all domains 1 GHz)...")
+    mcd = run_spec(SimulationSpec(benchmark=benchmark, mcd=True))
+
+    print(f"Simulating {benchmark!r} (MCD + Attack/Decay)...")
+    controller = AttackDecayController(SCALED_OPERATING_POINT)
+    controlled = run_spec(
+        SimulationSpec(benchmark=benchmark, mcd=True, controller=controller)
+    )
+
+    print()
+    print(f"{'configuration':24s} {'CPI':>7s} {'EPI':>8s} {'energy':>10s}")
+    for label, result in (
+        ("fully synchronous", sync),
+        ("baseline MCD", mcd),
+        ("MCD + Attack/Decay", controlled),
+    ):
+        print(
+            f"{label:24s} {result.cpi:7.3f} {result.epi:8.3f} {result.energy:10.0f}"
+        )
+
+    inherent = compare(summarize(mcd), summarize(sync))
+    vs_mcd = compare(summarize(controlled), summarize(mcd))
+    print()
+    print(f"inherent MCD degradation: {inherent.performance_degradation:+.2%}")
+    print(f"Attack/Decay vs baseline MCD:")
+    print(f"  performance degradation: {vs_mcd.performance_degradation:+.2%}")
+    print(f"  energy savings:          {vs_mcd.energy_savings:+.2%}")
+    print(f"  EDP improvement:         {vs_mcd.edp_improvement:+.2%}")
+    print(f"  power/perf ratio:        {vs_mcd.power_performance_ratio:.1f}")
+
+    print()
+    print("final domain frequencies under Attack/Decay (MHz):")
+    for domain, mhz in controlled.final_frequencies_mhz.items():
+        if domain is not Domain.EXTERNAL:
+            print(f"  {domain.value:16s} {mhz:7.1f}")
+
+
+if __name__ == "__main__":
+    main()

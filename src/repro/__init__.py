@@ -1,0 +1,77 @@
+"""repro — a reproduction of Semeraro et al., MICRO 2002.
+
+*Dynamic Frequency and Voltage Control for a Multiple Clock Domain
+Microarchitecture*: a four-domain GALS out-of-order processor whose
+per-domain frequencies/voltages are steered on-line by the Attack/Decay
+controller using issue-queue utilization.
+
+Quick start::
+
+    from repro import (
+        AttackDecayController, AttackDecayParams, SimulationSpec, run_spec,
+    )
+
+    spec = SimulationSpec(
+        benchmark="epic",
+        controller=AttackDecayController(AttackDecayParams()),
+    )
+    result = run_spec(spec)
+    print(result.cpi, result.epi)
+
+See ``examples/`` for complete scenarios and ``benchmarks/`` for the
+harness regenerating every table and figure of the paper.
+"""
+
+from repro.config import (
+    AttackDecayParams,
+    Domain,
+    MCDConfig,
+    PAPER_OPERATING_POINT,
+    ProcessorConfig,
+)
+from repro.control import (
+    AttackDecayController,
+    FixedFrequencyController,
+    GlobalDVFSController,
+    OfflineController,
+    OfflineProfiler,
+    build_offline_schedule,
+    estimate_attack_decay_hardware,
+)
+from repro.metrics import Comparison, RunSummary, aggregate, compare, summarize
+from repro.sim import ExperimentRunner, SimulationSpec, run_spec
+from repro.uarch import CoreOptions, CoreResult, MCDCore
+from repro.workloads import BENCHMARKS, Phase, SyntheticTrace, get_benchmark
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AttackDecayController",
+    "AttackDecayParams",
+    "BENCHMARKS",
+    "Comparison",
+    "CoreOptions",
+    "CoreResult",
+    "Domain",
+    "ExperimentRunner",
+    "FixedFrequencyController",
+    "GlobalDVFSController",
+    "MCDConfig",
+    "MCDCore",
+    "OfflineController",
+    "OfflineProfiler",
+    "PAPER_OPERATING_POINT",
+    "Phase",
+    "ProcessorConfig",
+    "RunSummary",
+    "SimulationSpec",
+    "SyntheticTrace",
+    "aggregate",
+    "build_offline_schedule",
+    "compare",
+    "estimate_attack_decay_hardware",
+    "get_benchmark",
+    "run_spec",
+    "summarize",
+    "__version__",
+]

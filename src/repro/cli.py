@@ -1,0 +1,170 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``catalog``
+    List the 30 benchmarks with suites and windows.
+``run BENCH``
+    Simulate one benchmark under a chosen configuration and print the
+    headline metrics.
+``compare BENCH [BENCH ...]``
+    Table-6-style comparison of the algorithms on a benchmark mix.
+``hardware``
+    Print the Table 3 controller gate-count estimate.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro.config.algorithm import AttackDecayParams, SCALED_OPERATING_POINT
+from repro.control.attack_decay import AttackDecayController
+from repro.control.hardware_cost import estimate_attack_decay_hardware
+from repro.metrics.aggregate import aggregate
+from repro.metrics.summary import compare, summarize
+from repro.reporting.tables import format_table
+from repro.sim.engine import SimulationSpec, run_spec
+from repro.sim.experiment import ExperimentRunner
+from repro.workloads.catalog import BENCHMARKS, get_benchmark
+
+
+def _cmd_catalog(_: argparse.Namespace) -> int:
+    rows = [
+        (s.name, s.suite, s.paper_window, f"{s.sim_instructions:,}")
+        for s in BENCHMARKS.values()
+    ]
+    print(
+        format_table(
+            ["Benchmark", "Suite", "Paper window", "Scaled window"],
+            rows,
+            title="Benchmark catalog (Table 5)",
+        )
+    )
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    get_benchmark(args.benchmark)  # validate early
+    controller = None
+    mcd = not args.sync
+    if args.algorithm == "attack-decay":
+        params = SCALED_OPERATING_POINT if args.scaled else AttackDecayParams()
+        controller = AttackDecayController(params)
+    spec = SimulationSpec(
+        benchmark=args.benchmark,
+        mcd=mcd,
+        controller=controller,
+        scale=args.scale,
+        seed=args.seed,
+    )
+    result = run_spec(spec)
+    print(f"benchmark:      {args.benchmark}")
+    print(f"configuration:  {'sync' if args.sync else 'mcd'} / {args.algorithm}")
+    print(f"instructions:   {result.instructions:,}")
+    print(f"wall time:      {result.wall_time_ns:,.0f} ns")
+    print(f"CPI:            {result.cpi:.3f}")
+    print(f"EPI:            {result.epi:.3f}")
+    print(f"energy:         {result.energy:,.0f}")
+    print(f"branch acc:     {result.branch_accuracy:.3f}")
+    print(f"L1D miss rate:  {result.l1d_miss_rate:.3f}")
+    print("final domain frequencies (MHz):")
+    for domain, mhz in result.final_frequencies_mhz.items():
+        print(f"  {domain.value:16s} {mhz:7.1f}")
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    for name in args.benchmarks:
+        get_benchmark(name)
+    runner = ExperimentRunner(scale=args.scale, seed=args.seed)
+    rows = []
+    for label, make in (
+        ("Attack/Decay", lambda b: runner.attack_decay(b, SCALED_OPERATING_POINT)),
+        ("Dynamic-1%", lambda b: runner.dynamic(b, 1.0)),
+        ("Dynamic-5%", lambda b: runner.dynamic(b, 5.0)),
+    ):
+        agg = aggregate(
+            {b: runner.compare_to_mcd_base(make(b)) for b in args.benchmarks}
+        )
+        rows.append(
+            (
+                label,
+                f"{agg.performance_degradation:.2%}",
+                f"{agg.energy_savings:.2%}",
+                f"{agg.edp_improvement:.2%}",
+                f"{agg.power_performance_ratio:.1f}",
+            )
+        )
+    print(
+        format_table(
+            ["Algorithm", "Perf Deg", "Energy Savings", "EDP Impr", "Ratio"],
+            rows,
+            title=f"Comparison vs baseline MCD ({', '.join(args.benchmarks)})",
+        )
+    )
+    return 0
+
+
+def _cmd_hardware(_: argparse.Namespace) -> int:
+    model = estimate_attack_decay_hardware()
+    print(
+        format_table(
+            ["Component", "Estimation", "Gates"],
+            model.table3_rows(),
+            title="Table 3: Attack/Decay hardware estimate",
+        )
+    )
+    print(
+        f"\nper domain: {model.gates_per_domain}; total "
+        f"({model.controlled_domains} domains): {model.total_gates} gates"
+    )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="MCD dynamic frequency/voltage control reproduction",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("catalog", help="list the benchmark catalog").set_defaults(
+        func=_cmd_catalog
+    )
+
+    run_p = sub.add_parser("run", help="simulate one benchmark")
+    run_p.add_argument("benchmark")
+    run_p.add_argument(
+        "--algorithm",
+        choices=["none", "attack-decay"],
+        default="attack-decay",
+    )
+    run_p.add_argument("--sync", action="store_true", help="fully synchronous")
+    run_p.add_argument("--scaled", action="store_true", default=True)
+    run_p.add_argument("--scale", type=float, default=1.0)
+    run_p.add_argument("--seed", type=int, default=1)
+    run_p.set_defaults(func=_cmd_run)
+
+    cmp_p = sub.add_parser("compare", help="compare algorithms on a mix")
+    cmp_p.add_argument("benchmarks", nargs="+")
+    cmp_p.add_argument("--scale", type=float, default=1.0)
+    cmp_p.add_argument("--seed", type=int, default=1)
+    cmp_p.set_defaults(func=_cmd_compare)
+
+    sub.add_parser("hardware", help="Table 3 gate estimate").set_defaults(
+        func=_cmd_hardware
+    )
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point."""
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

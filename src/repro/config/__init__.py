@@ -1,0 +1,34 @@
+"""Configuration for the MCD processor, core microarchitecture and controller.
+
+The three configuration surfaces mirror the paper's tables:
+
+* :class:`~repro.config.mcd.MCDConfig` — Table 1 (domain voltage and
+  frequency ranges, slew rate, jitter, synchronization window).
+* :class:`~repro.config.processor.ProcessorConfig` — Table 4 (Alpha
+  21264-like architectural parameters).
+* :class:`~repro.config.algorithm.AttackDecayParams` — Table 2 plus the
+  paper's chosen operating point (Section 5).
+
+All configuration objects are frozen dataclasses: validated on
+construction, hashable, and safe to share between experiments.
+"""
+
+from repro.config.algorithm import (
+    ATTACK_DECAY_PARAMETER_RANGES,
+    PAPER_OPERATING_POINT,
+    AttackDecayParams,
+    ParameterRange,
+)
+from repro.config.mcd import Domain, MCDConfig, CONTROLLED_DOMAINS
+from repro.config.processor import ProcessorConfig
+
+__all__ = [
+    "ATTACK_DECAY_PARAMETER_RANGES",
+    "CONTROLLED_DOMAINS",
+    "PAPER_OPERATING_POINT",
+    "AttackDecayParams",
+    "Domain",
+    "MCDConfig",
+    "ParameterRange",
+    "ProcessorConfig",
+]

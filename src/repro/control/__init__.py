@@ -1,0 +1,37 @@
+"""Frequency/voltage controllers.
+
+* :class:`~repro.control.attack_decay.AttackDecayController` — the
+  paper's on-line algorithm (Listing 1).
+* :class:`~repro.control.offline.OfflineController` and
+  :func:`~repro.control.offline.build_offline_schedule` — the
+  profile-driven Dynamic-1 %/5 % baseline.
+* :class:`~repro.control.global_dvfs.GlobalDVFSController` — global
+  (fully synchronous) voltage/frequency scaling.
+* :class:`~repro.control.fixed.FixedFrequencyController` — pins every
+  domain (baseline MCD when pinned at maximum).
+* :mod:`~repro.control.hardware_cost` — the Table 3 gate-count model.
+"""
+
+from repro.control.attack_decay import AttackDecayController, DomainControlState
+from repro.control.base import FrequencyController, IntervalSnapshot
+from repro.control.fixed import FixedFrequencyController
+from repro.control.global_dvfs import GlobalDVFSController
+from repro.control.hardware_cost import (
+    HardwareCostModel,
+    estimate_attack_decay_hardware,
+)
+from repro.control.offline import OfflineController, OfflineProfiler, build_offline_schedule
+
+__all__ = [
+    "AttackDecayController",
+    "DomainControlState",
+    "FixedFrequencyController",
+    "FrequencyController",
+    "GlobalDVFSController",
+    "HardwareCostModel",
+    "IntervalSnapshot",
+    "OfflineController",
+    "OfflineProfiler",
+    "build_offline_schedule",
+    "estimate_attack_decay_hardware",
+]

@@ -1,0 +1,35 @@
+"""Fixed-frequency controller (baseline configurations).
+
+Pins every domain at a given frequency and never changes it.  With all
+domains at maximum this is the *baseline MCD processor* the paper
+references results to; it is also used to hold arbitrary static
+operating points in ablation studies.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.config.mcd import Domain, MCDConfig
+from repro.control.base import IntervalSnapshot
+
+
+class FixedFrequencyController:
+    """Holds per-domain frequencies constant for the whole run."""
+
+    instantaneous = True
+
+    def __init__(self, frequencies_mhz: Mapping[Domain, float] | None = None) -> None:
+        self.frequencies_mhz = dict(frequencies_mhz or {})
+        self._applied = False
+
+    def begin(self, config: MCDConfig, initial_mhz: Mapping[Domain, float]) -> None:
+        """Reset; targets are applied on the first interval."""
+        self._applied = False
+
+    def on_interval(self, snapshot: IntervalSnapshot) -> dict[Domain, float]:
+        """Apply the pinned frequencies once; then do nothing."""
+        if self._applied or not self.frequencies_mhz:
+            return {}
+        self._applied = True
+        return dict(self.frequencies_mhz)

@@ -1,0 +1,43 @@
+"""Exception hierarchy for the repro package.
+
+All exceptions raised intentionally by this library derive from
+:class:`ReproError`, so callers can catch one type at an API boundary.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the repro package."""
+
+
+class ConfigError(ReproError):
+    """A configuration value is out of its legal range or inconsistent."""
+
+
+class ClockError(ReproError):
+    """A clock was driven outside its contract (e.g. time moved backwards)."""
+
+
+class RegulatorError(ReproError):
+    """A DVFS regulator request was invalid (frequency out of range, ...)."""
+
+
+class TraceError(ReproError):
+    """An instruction trace is malformed or exhausted unexpectedly."""
+
+
+class WorkloadError(ReproError):
+    """A workload definition is unknown or internally inconsistent."""
+
+
+class SimulationError(ReproError):
+    """The simulator reached an inconsistent state (a bug, not user error)."""
+
+
+class ControlError(ReproError):
+    """A frequency controller was misconfigured or misused."""
+
+
+class ExperimentError(ReproError):
+    """An experiment specification cannot be run (unknown algorithm, ...)."""

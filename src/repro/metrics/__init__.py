@@ -1,0 +1,23 @@
+"""Metrics of Section 5: CPI, EPI, EDP and the comparison statistics.
+
+The paper reports every result *relative* to a reference configuration
+(fully synchronous processor, or baseline MCD processor):
+
+* performance degradation — relative increase in run time;
+* energy savings — relative decrease in total energy;
+* energy-delay product improvement — relative decrease in E·D;
+* power-savings-to-performance-degradation ratio — average percent
+  power saved per percent of performance lost (Section 5).
+"""
+
+from repro.metrics.aggregate import AggregateResult, aggregate
+from repro.metrics.summary import Comparison, RunSummary, compare, summarize
+
+__all__ = [
+    "AggregateResult",
+    "Comparison",
+    "RunSummary",
+    "aggregate",
+    "compare",
+    "summarize",
+]

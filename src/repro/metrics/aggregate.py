@@ -1,0 +1,79 @@
+"""Aggregation of per-benchmark comparisons into suite-level averages.
+
+The paper's "average" bars are means of per-application percentages
+across the 30 benchmarks (multiple datasets of one benchmark were
+already folded into the per-application number, weighted by instruction
+count — our catalog folds datasets into one workload per application).
+The power-savings-to-performance-degradation ratio is computed from the
+*averages* (Section 5), not averaged per application.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+from repro.errors import SimulationError
+from repro.metrics.summary import Comparison
+
+
+@dataclass(frozen=True)
+class AggregateResult:
+    """Averaged comparison statistics over a benchmark set."""
+
+    count: int
+    performance_degradation: float
+    energy_savings: float
+    epi_reduction: float
+    edp_improvement: float
+    power_savings: float
+
+    @property
+    def power_performance_ratio(self) -> float:
+        """Average percent power saved per average percent perf lost."""
+        if self.performance_degradation <= 0.0:
+            return float("inf") if self.power_savings > 0 else 0.0
+        return self.power_savings / self.performance_degradation
+
+
+def aggregate(
+    comparisons: Sequence[Comparison] | Mapping[str, Comparison],
+    weights: Mapping[str, float] | None = None,
+) -> AggregateResult:
+    """Average comparisons, optionally weighting by benchmark name.
+
+    Parameters
+    ----------
+    comparisons:
+        Per-benchmark comparison statistics.
+    weights:
+        Optional per-name weights (e.g. the paper's instruction
+        counts).  Only usable when ``comparisons`` is a mapping.
+    """
+    if isinstance(comparisons, Mapping):
+        names = list(comparisons)
+        items = [comparisons[n] for n in names]
+        if weights is not None:
+            w = [weights[n] for n in names]
+        else:
+            w = [1.0] * len(items)
+    else:
+        if weights is not None:
+            raise SimulationError("weights require named comparisons")
+        items = list(comparisons)
+        w = [1.0] * len(items)
+    if not items:
+        raise SimulationError("nothing to aggregate")
+    total = sum(w)
+
+    def mean(attr: str) -> float:
+        return sum(getattr(c, attr) * wi for c, wi in zip(items, w)) / total
+
+    return AggregateResult(
+        count=len(items),
+        performance_degradation=mean("performance_degradation"),
+        energy_savings=mean("energy_savings"),
+        epi_reduction=mean("epi_reduction"),
+        edp_improvement=mean("edp_improvement"),
+        power_savings=mean("power_savings"),
+    )

@@ -1,0 +1,91 @@
+"""Per-run summaries and pairwise comparisons."""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+
+from repro.errors import SimulationError
+from repro.uarch.core import CoreResult
+
+
+@dataclass(frozen=True)
+class RunSummary:
+    """The scalar outcome of one simulation run."""
+
+    instructions: int
+    wall_time_ns: float
+    energy: float
+    cpi: float
+    epi: float
+    power: float
+    edp: float
+
+    def to_dict(self) -> dict:
+        """Plain-dict form (JSON caching)."""
+        return asdict(self)
+
+    @staticmethod
+    def from_dict(data: dict) -> "RunSummary":
+        """Inverse of :meth:`to_dict`."""
+        return RunSummary(**data)
+
+
+def summarize(result: CoreResult) -> RunSummary:
+    """Collapse a :class:`CoreResult` into its headline scalars."""
+    return RunSummary(
+        instructions=result.instructions,
+        wall_time_ns=result.wall_time_ns,
+        energy=result.energy,
+        cpi=result.cpi,
+        epi=result.epi,
+        power=result.power,
+        edp=result.energy_delay_product,
+    )
+
+
+@dataclass(frozen=True)
+class Comparison:
+    """A run measured against a reference run (Section 5 statistics).
+
+    All values are fractions: 0.032 means 3.2 %.
+    """
+
+    performance_degradation: float
+    energy_savings: float
+    epi_reduction: float
+    edp_improvement: float
+    power_savings: float
+
+    @property
+    def power_performance_ratio(self) -> float:
+        """Percent power saved per percent performance lost.
+
+        Infinite when there is no degradation but positive savings;
+        zero when there are no savings.
+        """
+        if self.performance_degradation <= 0.0:
+            return float("inf") if self.power_savings > 0 else 0.0
+        return self.power_savings / self.performance_degradation
+
+
+def compare(run: RunSummary, reference: RunSummary) -> Comparison:
+    """Compare ``run`` against ``reference`` (same workload)."""
+    if reference.wall_time_ns <= 0 or reference.energy <= 0:
+        raise SimulationError("reference run has no time/energy")
+    if run.instructions != reference.instructions:
+        raise SimulationError(
+            "comparing runs over different instruction counts "
+            f"({run.instructions} vs {reference.instructions})"
+        )
+    perf_deg = run.wall_time_ns / reference.wall_time_ns - 1.0
+    energy_savings = 1.0 - run.energy / reference.energy
+    epi_reduction = 1.0 - run.epi / reference.epi
+    edp_improvement = 1.0 - run.edp / reference.edp
+    power_savings = 1.0 - run.power / reference.power
+    return Comparison(
+        performance_degradation=perf_deg,
+        energy_savings=energy_savings,
+        epi_reduction=epi_reduction,
+        edp_improvement=edp_improvement,
+        power_savings=power_savings,
+    )

@@ -1,0 +1,37 @@
+"""Conditional clocking (clock gating) policy.
+
+All configurations in the paper assume circuits are clock gated when
+not in use.  Gating is imperfect: the clock tree up to the gates keeps
+switching, and latch clock loads are only partially disabled.  As in
+Wattch's conditional-clocking styles, an idle domain cycle is charged a
+fixed fraction of that domain's per-cycle clock energy.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigError
+
+
+class ClockGatingModel:
+    """Charges idle cycles a residual fraction of clock energy.
+
+    Parameters
+    ----------
+    idle_residual:
+        Fraction of the per-cycle clock energy consumed when the domain
+        performed no work that cycle (default 0.18: the global clock
+        grid and enabled latch headers keep toggling).
+    """
+
+    __slots__ = ("idle_residual",)
+
+    def __init__(self, idle_residual: float = 0.18) -> None:
+        if not 0.0 <= idle_residual <= 1.0:
+            raise ConfigError("idle_residual must be in [0, 1]")
+        self.idle_residual = idle_residual
+
+    def cycle_clock_energy(self, clock_energy: float, busy: bool) -> float:
+        """Clock energy for one cycle, gated when idle."""
+        if busy:
+            return clock_energy
+        return clock_energy * self.idle_residual

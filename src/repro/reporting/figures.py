@@ -1,0 +1,55 @@
+"""ASCII renderings of the paper's figures (time series / sweeps)."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+_BARS = " .:-=+*#%@"
+
+
+def ascii_series(values: Sequence[float], width: int = 72) -> str:
+    """A one-line density strip of ``values`` (down-sampled to ``width``)."""
+    if not values:
+        return ""
+    n = len(values)
+    width = min(width, n)
+    buckets = []
+    for i in range(width):
+        lo = i * n // width
+        hi = max(lo + 1, (i + 1) * n // width)
+        chunk = values[lo:hi]
+        buckets.append(sum(chunk) / len(chunk))
+    vmin, vmax = min(buckets), max(buckets)
+    span = vmax - vmin or 1.0
+    out = []
+    for v in buckets:
+        level = int((v - vmin) / span * (len(_BARS) - 1))
+        out.append(_BARS[level])
+    return "".join(out)
+
+
+def ascii_chart(
+    xs: Sequence[float],
+    ys: Sequence[float],
+    height: int = 12,
+    width: int = 64,
+    x_label: str = "x",
+    y_label: str = "y",
+) -> str:
+    """A small scatter/line chart on a character grid."""
+    if len(xs) != len(ys) or not xs:
+        raise ValueError("xs and ys must be equal-length, non-empty")
+    xmin, xmax = min(xs), max(xs)
+    ymin, ymax = min(ys), max(ys)
+    xspan = xmax - xmin or 1.0
+    yspan = ymax - ymin or 1.0
+    grid = [[" "] * width for _ in range(height)]
+    for x, y in zip(xs, ys):
+        col = int((x - xmin) / xspan * (width - 1))
+        row = height - 1 - int((y - ymin) / yspan * (height - 1))
+        grid[row][col] = "o"
+    lines = [f"{y_label}  {ymax:.4g}".rstrip()]
+    lines.extend("  |" + "".join(row) for row in grid)
+    lines.append("  +" + "-" * width)
+    lines.append(f"   {xmin:.4g} {x_label} -> {xmax:.4g}   (ymin={ymin:.4g})")
+    return "\n".join(lines)

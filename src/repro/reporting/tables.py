@@ -1,0 +1,52 @@
+"""Fixed-width text tables for bench output."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str | None = None,
+) -> str:
+    """Render ``rows`` as a fixed-width table with a header rule.
+
+    Cells are stringified; numeric alignment is right, text left.
+    """
+    cells = [[str(c) for c in row] for row in rows]
+    columns = len(headers)
+    for row in cells:
+        if len(row) != columns:
+            raise ValueError(f"row has {len(row)} cells, expected {columns}")
+    widths = [len(h) for h in headers]
+    for row in cells:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def is_numeric(text: str) -> bool:
+        stripped = text.replace("%", "").replace(",", "").strip()
+        if not stripped:
+            return False
+        try:
+            float(stripped)
+            return True
+        except ValueError:
+            return False
+
+    def fmt_row(row: Sequence[str]) -> str:
+        parts = []
+        for i, cell in enumerate(row):
+            if is_numeric(cell):
+                parts.append(cell.rjust(widths[i]))
+            else:
+                parts.append(cell.ljust(widths[i]))
+        return "  ".join(parts).rstrip()
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(fmt_row(list(headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    lines.extend(fmt_row(row) for row in cells)
+    return "\n".join(lines)

@@ -1,0 +1,21 @@
+"""Simulation drivers: single runs, cached experiments, parameter sweeps."""
+
+from repro.sim.engine import SimulationSpec, run_spec
+from repro.sim.experiment import (
+    ExperimentRunner,
+    RunRecord,
+    benchmark_scale,
+    quick_benchmarks,
+)
+from repro.sim.sweeps import sweep_attack_decay_parameter, sweep_perf_deg_target
+
+__all__ = [
+    "ExperimentRunner",
+    "RunRecord",
+    "SimulationSpec",
+    "benchmark_scale",
+    "quick_benchmarks",
+    "run_spec",
+    "sweep_attack_decay_parameter",
+    "sweep_perf_deg_target",
+]

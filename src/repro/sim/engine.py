@@ -1,0 +1,128 @@
+"""Single-run simulation driver.
+
+:class:`SimulationSpec` names everything that determines a run —
+benchmark, processor/MCD configuration, clocking mode, controller — and
+:func:`run_spec` executes it.  Specs are deterministic: the same spec
+always produces the same :class:`~repro.uarch.core.CoreResult`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.config.mcd import Domain, MCDConfig
+from repro.config.processor import ProcessorConfig
+from repro.control.base import FrequencyController
+from repro.errors import ExperimentError
+from repro.uarch.core import CoreOptions, CoreResult, MCDCore
+from repro.workloads.catalog import get_benchmark
+
+#: Regulator slew rate used with the scaled catalog workloads.  The
+#: paper's 49.1 ns/MHz makes a full-range transition take ~3.7 of its
+#: 10,000-instruction control intervals; our catalog compresses run
+#: length (and interval length) by roughly 20-30x, so the slew rate is
+#: compressed alongside to preserve the ratio of actuation delay to
+#: control interval — otherwise the regulator, not the algorithm, would
+#: dominate the scaled results (DESIGN.md substitution #2).
+SCALED_SLEW_NS_PER_MHZ = 1.5
+
+
+def scaled_mcd_config() -> MCDConfig:
+    """Table 1 electricals with the time-compression-matched slew rate."""
+    return MCDConfig(slew_ns_per_mhz=SCALED_SLEW_NS_PER_MHZ)
+
+
+@dataclass
+class SimulationSpec:
+    """A fully specified simulation run.
+
+    Parameters
+    ----------
+    benchmark:
+        Catalog name (see :mod:`repro.workloads.catalog`).
+    mcd:
+        MCD clocking (True) or the fully synchronous baseline (False).
+    controller:
+        Frequency controller, or None for fixed initial frequencies.
+    global_frequency_mhz:
+        When set, every on-chip domain starts (and stays, absent a
+        controller) at this frequency — the global-DVFS operating
+        point.
+    scale:
+        Workload length scale (1.0 = the catalog's scaled windows).
+    seed:
+        Clock phase/jitter seed (and trace seed offset).
+    record_intervals:
+        Keep the per-interval log (Figures 2/3).
+    warmup:
+        Replay the head of the trace through predictor/caches before
+        timing, approximating the paper's warm mid-execution windows.
+    memory_tracks_global:
+        Scale main-memory latency with ``global_frequency_mhz``
+        (latency constant in processor cycles, SimpleScalar-style).
+        The paper's global-DVFS analysis exhibits exactly this
+        behaviour — every application's run time stretches roughly
+        proportionally with the global clock, yielding the reported
+        power/performance ratio of ~2 — so the ``Global(...)`` rows
+        reproduce it.  MCD runs always keep the external domain at
+        fixed wall-clock latency (it is independently clocked at
+        maximum, Section 2).
+    """
+
+    benchmark: str
+    mcd: bool = True
+    controller: FrequencyController | None = None
+    global_frequency_mhz: float | None = None
+    scale: float = 1.0
+    seed: int = 1
+    record_intervals: bool = False
+    warmup: bool = True
+    memory_tracks_global: bool = False
+    processor: ProcessorConfig = field(default_factory=ProcessorConfig)
+    mcd_config: MCDConfig = field(default_factory=scaled_mcd_config)
+
+
+def run_spec(spec: SimulationSpec) -> CoreResult:
+    """Execute one simulation run."""
+    bench = get_benchmark(spec.benchmark)
+    trace = bench.build_trace(scale=spec.scale)
+    initial = None
+    processor = spec.processor
+    if spec.global_frequency_mhz is not None:
+        f = spec.global_frequency_mhz
+        cfg = spec.mcd_config
+        if not cfg.min_frequency_mhz <= f <= cfg.max_frequency_mhz:
+            raise ExperimentError(f"global frequency {f} MHz out of range")
+        initial = {
+            Domain.FRONT_END: f,
+            Domain.INTEGER: f,
+            Domain.FLOATING_POINT: f,
+            Domain.LOAD_STORE: f,
+        }
+        if spec.memory_tracks_global:
+            from dataclasses import replace
+
+            processor = replace(
+                processor,
+                memory_latency_ns=processor.memory_latency_ns
+                * cfg.max_frequency_mhz
+                / f,
+            )
+    options = CoreOptions(
+        mcd=spec.mcd,
+        seed=spec.seed,
+        interval_instructions=bench.interval_instructions,
+        record_interval_trace=spec.record_intervals,
+        initial_frequencies_mhz=initial,
+    )
+    core = MCDCore(
+        processor=processor,
+        mcd_config=spec.mcd_config,
+        trace=trace,
+        controller=spec.controller,
+        options=options,
+    )
+    if spec.warmup:
+        warm_trace = bench.build_trace(scale=spec.scale)
+        core.warm_up(warm_trace, limit=warm_trace.total_instructions)
+    return core.run()

@@ -1,0 +1,116 @@
+"""High-level drivers that assemble the paper's headline artifacts.
+
+These functions orchestrate the cached :class:`ExperimentRunner` runs
+behind Table 6 and Figure 4 so the bench harness, the examples and the
+tests all share one implementation (and one results cache).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.config.algorithm import AttackDecayParams, SCALED_OPERATING_POINT
+from repro.metrics.aggregate import AggregateResult, aggregate
+from repro.metrics.summary import Comparison
+from repro.sim.experiment import ExperimentRunner, quick_benchmarks
+
+#: Algorithms reported in Table 6 / Figure 4, in paper order.
+TABLE6_ALGORITHMS = ("attack_decay", "dynamic_1", "dynamic_5")
+
+
+@dataclass
+class Table6Row:
+    """One algorithm's aggregate line of Table 6."""
+
+    algorithm: str
+    performance_degradation: float
+    energy_savings: float
+    edp_improvement: float
+    power_performance_ratio: float
+
+
+@dataclass
+class PaperResults:
+    """Everything Table 6 and Figure 4 need, from one set of runs."""
+
+    benchmarks: list[str]
+    #: algorithm -> benchmark -> comparison vs the baseline MCD processor.
+    vs_mcd: dict[str, dict[str, Comparison]] = field(default_factory=dict)
+    #: configuration -> benchmark -> comparison vs the fully synchronous
+    #: processor (Figure 4 reference), including "mcd_base" itself.
+    vs_sync: dict[str, dict[str, Comparison]] = field(default_factory=dict)
+    #: algorithm -> the matched global frequency (MHz).
+    global_frequency: dict[str, float] = field(default_factory=dict)
+    #: "global(<algorithm>)" -> benchmark -> comparison vs baseline MCD.
+    global_vs_mcd: dict[str, dict[str, Comparison]] = field(default_factory=dict)
+
+    def aggregate_vs_mcd(self, algorithm: str) -> AggregateResult:
+        """Suite-average statistics vs the baseline MCD processor."""
+        return aggregate(self.vs_mcd[algorithm])
+
+    def table6_rows(self) -> list[Table6Row]:
+        """The six lines of Table 6 (three algorithms, three globals)."""
+        rows = []
+        for algorithm in TABLE6_ALGORITHMS:
+            agg = self.aggregate_vs_mcd(algorithm)
+            rows.append(
+                Table6Row(
+                    algorithm=algorithm,
+                    performance_degradation=agg.performance_degradation,
+                    energy_savings=agg.energy_savings,
+                    edp_improvement=agg.edp_improvement,
+                    power_performance_ratio=agg.power_performance_ratio,
+                )
+            )
+        for algorithm in TABLE6_ALGORITHMS:
+            agg = aggregate(self.global_vs_mcd[f"global({algorithm})"])
+            rows.append(
+                Table6Row(
+                    algorithm=f"Global ({algorithm})",
+                    performance_degradation=agg.performance_degradation,
+                    energy_savings=agg.energy_savings,
+                    edp_improvement=agg.edp_improvement,
+                    power_performance_ratio=agg.power_performance_ratio,
+                )
+            )
+        return rows
+
+
+def compute_paper_results(
+    runner: ExperimentRunner | None = None,
+    benchmarks: list[str] | None = None,
+    params: AttackDecayParams = SCALED_OPERATING_POINT,
+    include_globals: bool = True,
+) -> PaperResults:
+    """Run (or load from cache) everything behind Table 6 and Figure 4."""
+    runner = runner if runner is not None else ExperimentRunner()
+    benchmarks = benchmarks if benchmarks is not None else quick_benchmarks()
+    results = PaperResults(benchmarks=list(benchmarks))
+
+    records = {
+        "attack_decay": {b: runner.attack_decay(b, params) for b in benchmarks},
+        "dynamic_1": {b: runner.dynamic(b, 1.0) for b in benchmarks},
+        "dynamic_5": {b: runner.dynamic(b, 5.0) for b in benchmarks},
+    }
+    for algorithm, per_bench in records.items():
+        results.vs_mcd[algorithm] = {
+            b: runner.compare_to_mcd_base(r) for b, r in per_bench.items()
+        }
+        results.vs_sync[algorithm] = {
+            b: runner.compare_to_sync(r) for b, r in per_bench.items()
+        }
+    results.vs_sync["mcd_base"] = {
+        b: runner.compare_to_sync(runner.mcd_baseline(b)) for b in benchmarks
+    }
+
+    if include_globals:
+        for algorithm in TABLE6_ALGORITHMS:
+            target = results.aggregate_vs_mcd(algorithm).performance_degradation
+            mhz, global_records = runner.global_suite_matched(
+                list(benchmarks), target
+            )
+            results.global_frequency[algorithm] = mhz
+            results.global_vs_mcd[f"global({algorithm})"] = {
+                b: runner.compare_to_mcd_base(r) for b, r in global_records.items()
+            }
+    return results

@@ -1,0 +1,36 @@
+"""Microarchitecture substrate: the Alpha 21264-like MCD core.
+
+Modules
+-------
+``isa``
+    Instruction classes and their domain/latency mapping.
+``trace``
+    Block-structured instruction traces and the stream protocol.
+``branch_predictor``
+    SimpleScalar-style combining predictor (2-level + bimodal + meta)
+    with a set-associative BTB.
+``caches``
+    Set-associative LRU caches and the L1I/L1D/L2/memory hierarchy.
+``queues``
+    Issue queues, load/store queue and reorder buffer with occupancy
+    accounting (the controller's observable).
+``functional_units``
+    Per-domain execution resources.
+``frontend``
+    Fetch/rename/dispatch stage (front-end domain).
+``core``
+    The cycle-approximate four-domain out-of-order pipeline.
+"""
+
+from repro.uarch.core import CoreOptions, CoreResult, MCDCore
+from repro.uarch.isa import InstructionClass
+from repro.uarch.trace import InstructionBlock, TraceStream
+
+__all__ = [
+    "CoreOptions",
+    "CoreResult",
+    "InstructionBlock",
+    "InstructionClass",
+    "MCDCore",
+    "TraceStream",
+]

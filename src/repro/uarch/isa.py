@@ -1,0 +1,58 @@
+"""Instruction classes of the trace-driven ISA.
+
+The simulator is trace driven: workloads emit a stream of dynamic
+instructions, each tagged with one of these classes.  The class
+determines which domain executes the instruction, which issue queue
+buffers it, which functional unit it needs and its execution latency.
+"""
+
+from __future__ import annotations
+
+import enum
+
+from repro.config.mcd import Domain
+
+
+class InstructionClass(enum.IntEnum):
+    """Dynamic instruction classes.
+
+    IntEnum so trace blocks can store compact integer codes; the
+    numeric values are part of the trace format and must not change.
+    """
+
+    INT_ALU = 0
+    INT_MULT = 1
+    FP_ALU = 2
+    FP_MULT = 3
+    LOAD = 4
+    STORE = 5
+    BRANCH = 6
+
+    @property
+    def domain(self) -> Domain:
+        """The execution domain for this class."""
+        return _DOMAIN_OF[self]
+
+    @property
+    def is_memory(self) -> bool:
+        """Whether the instruction occupies the load/store queue."""
+        return self in (InstructionClass.LOAD, InstructionClass.STORE)
+
+    @property
+    def is_floating_point(self) -> bool:
+        """Whether the instruction occupies the FP issue queue."""
+        return self in (InstructionClass.FP_ALU, InstructionClass.FP_MULT)
+
+
+_DOMAIN_OF = {
+    InstructionClass.INT_ALU: Domain.INTEGER,
+    InstructionClass.INT_MULT: Domain.INTEGER,
+    InstructionClass.FP_ALU: Domain.FLOATING_POINT,
+    InstructionClass.FP_MULT: Domain.FLOATING_POINT,
+    InstructionClass.LOAD: Domain.LOAD_STORE,
+    InstructionClass.STORE: Domain.LOAD_STORE,
+    InstructionClass.BRANCH: Domain.INTEGER,
+}
+
+#: Number of distinct instruction classes (trace-format constant).
+NUM_CLASSES = len(InstructionClass)

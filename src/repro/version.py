@@ -1,0 +1,18 @@
+"""Version and paper identity constants."""
+
+__version__ = "1.0.0"
+
+#: The reproduced paper.
+PAPER_TITLE = (
+    "Dynamic Frequency and Voltage Control for a "
+    "Multiple Clock Domain Microarchitecture"
+)
+PAPER_AUTHORS = (
+    "Greg Semeraro",
+    "David H. Albonesi",
+    "Steven G. Dropsho",
+    "Grigorios Magklis",
+    "Sandhya Dwarkadas",
+    "Michael L. Scott",
+)
+PAPER_VENUE = "MICRO-35 (2002)"

@@ -1,0 +1,27 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config.algorithm import AttackDecayParams
+from repro.config.mcd import MCDConfig
+from repro.config.processor import ProcessorConfig
+
+
+@pytest.fixture
+def mcd_config() -> MCDConfig:
+    """The paper's Table 1 configuration."""
+    return MCDConfig()
+
+
+@pytest.fixture
+def processor_config() -> ProcessorConfig:
+    """The paper's Table 4 configuration."""
+    return ProcessorConfig()
+
+
+@pytest.fixture
+def paper_params() -> AttackDecayParams:
+    """The Section 5 operating point."""
+    return AttackDecayParams()

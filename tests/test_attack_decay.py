@@ -1,0 +1,215 @@
+"""Tests for the Attack/Decay controller (paper Listing 1)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config.algorithm import AttackDecayParams
+from repro.config.mcd import CONTROLLED_DOMAINS, Domain, MCDConfig
+from repro.control.attack_decay import AttackDecayController
+from repro.control.base import IntervalSnapshot
+from repro.errors import ControlError
+
+
+def make_snapshot(
+    index: int,
+    utilization: dict[Domain, float],
+    ipc: float = 1.0,
+) -> IntervalSnapshot:
+    return IntervalSnapshot(
+        index=index,
+        instructions=10_000,
+        time_ns=(index + 1) * 10_000.0,
+        duration_ns=10_000.0,
+        ipc=ipc,
+        queue_utilization=utilization,
+    )
+
+
+def started_controller(params=None, **kwargs) -> AttackDecayController:
+    ctl = AttackDecayController(params or AttackDecayParams(), **kwargs)
+    ctl.begin(MCDConfig(), {d: 1000.0 for d in CONTROLLED_DOMAINS})
+    return ctl
+
+
+class TestConstruction:
+    def test_requires_controllable_domains(self):
+        with pytest.raises(ControlError):
+            AttackDecayController(domains=(Domain.EXTERNAL,))
+
+    def test_requires_some_domain(self):
+        with pytest.raises(ControlError):
+            AttackDecayController(domains=())
+
+    def test_on_interval_before_begin_rejected(self):
+        ctl = AttackDecayController()
+        with pytest.raises(ControlError):
+            ctl.on_interval(make_snapshot(0, {}))
+
+    def test_bad_alpha_rejected(self):
+        with pytest.raises(ControlError):
+            AttackDecayController(smoothing_alpha=0.0)
+
+
+class TestAttackMode:
+    def test_utilization_rise_attacks_frequency_up(self):
+        # Frequency starts below max so an increase is visible.
+        ctl = started_controller()
+        ctl.states[Domain.INTEGER].frequency_mhz = 500.0
+        ctl.on_interval(make_snapshot(0, {Domain.INTEGER: 2.0}))
+        before = ctl.states[Domain.INTEGER].frequency_mhz
+        ctl.on_interval(make_snapshot(1, {Domain.INTEGER: 4.0}))  # +100 %
+        after = ctl.states[Domain.INTEGER].frequency_mhz
+        assert after > before
+        # Period scaled by 1 - ReactionChange: frequency / (1 - rc).
+        assert after == pytest.approx(before / (1.0 - 0.06))
+
+    def test_utilization_fall_attacks_frequency_down(self):
+        ctl = started_controller()
+        ctl.on_interval(make_snapshot(0, {Domain.INTEGER: 4.0}))
+        before = ctl.states[Domain.INTEGER].frequency_mhz
+        ctl.on_interval(make_snapshot(1, {Domain.INTEGER: 1.0}))  # -75 %
+        after = ctl.states[Domain.INTEGER].frequency_mhz
+        assert after == pytest.approx(before / 1.06)
+
+    def test_small_change_decays(self):
+        ctl = started_controller()
+        ctl.on_interval(make_snapshot(0, {Domain.INTEGER: 4.0}))
+        before = ctl.states[Domain.INTEGER].frequency_mhz
+        # Change below the 1.75 % deviation threshold.
+        ctl.on_interval(make_snapshot(1, {Domain.INTEGER: 4.01}))
+        after = ctl.states[Domain.INTEGER].frequency_mhz
+        assert after == pytest.approx(before / 1.00175)
+
+    def test_unused_domain_decays_to_minimum(self):
+        ctl = started_controller(AttackDecayParams(decay_pct=2.0))
+        for i in range(400):
+            ctl.on_interval(make_snapshot(i, {Domain.FLOATING_POINT: 0.0}))
+        state = ctl.states[Domain.FLOATING_POINT]
+        assert state.frequency_mhz == pytest.approx(250.0)
+
+    def test_frequency_clamped_to_range(self):
+        ctl = started_controller()
+        for i in range(5):
+            # Huge utilization increases force attacks up.
+            ctl.on_interval(make_snapshot(i, {Domain.INTEGER: 4.0 * 3**i}))
+        assert ctl.states[Domain.INTEGER].frequency_mhz <= 1000.0
+
+
+class TestPerfDegGuard:
+    def test_ipc_drop_blocks_decay(self):
+        ctl = started_controller(smoothing_alpha=1.0)
+        ctl.on_interval(make_snapshot(0, {Domain.INTEGER: 4.0}, ipc=1.0))
+        before = ctl.states[Domain.INTEGER].frequency_mhz
+        # IPC fell 10 % >> PerfDegThreshold 2.5 %: decay must be blocked.
+        ctl.on_interval(make_snapshot(1, {Domain.INTEGER: 4.0}, ipc=0.9))
+        assert ctl.states[Domain.INTEGER].frequency_mhz == before
+        assert ctl.states[Domain.INTEGER].holds >= 1
+
+    def test_steady_ipc_allows_decay(self):
+        ctl = started_controller(smoothing_alpha=1.0)
+        ctl.on_interval(make_snapshot(0, {Domain.INTEGER: 4.0}, ipc=1.0))
+        before = ctl.states[Domain.INTEGER].frequency_mhz
+        ctl.on_interval(make_snapshot(1, {Domain.INTEGER: 4.0}, ipc=1.0))
+        assert ctl.states[Domain.INTEGER].frequency_mhz < before
+
+    def test_literal_listing_guard_is_tautological(self):
+        # As printed, (PrevIPC/IPC) >= 0.025 is true for any realistic
+        # ratio, so the listing's guard never blocks (substitution #4).
+        ctl = started_controller(literal_listing=True, smoothing_alpha=1.0)
+        ctl.on_interval(make_snapshot(0, {Domain.INTEGER: 4.0}, ipc=1.0))
+        before = ctl.states[Domain.INTEGER].frequency_mhz
+        ctl.on_interval(make_snapshot(1, {Domain.INTEGER: 4.0}, ipc=0.5))
+        assert ctl.states[Domain.INTEGER].frequency_mhz < before
+
+
+class TestEndstops:
+    def test_pinned_at_max_forces_attack_down(self):
+        params = AttackDecayParams(decay_pct=0.0)  # nothing else moves it
+        ctl = started_controller(params)
+        # Utilization rising every interval pins the commanded frequency
+        # at the maximum; after 10 intervals the endstop forces a drop.
+        freqs = []
+        for i in range(14):
+            ctl.on_interval(make_snapshot(i, {Domain.INTEGER: 4.0 + i}))
+            freqs.append(ctl.states[Domain.INTEGER].frequency_mhz)
+        assert any(f < 1000.0 for f in freqs[10:])
+
+    def test_pinned_at_min_forces_attack_up(self):
+        ctl = started_controller(AttackDecayParams(decay_pct=2.0))
+        for i in range(600):
+            ctl.on_interval(make_snapshot(i, {Domain.FLOATING_POINT: 0.0}))
+        # After reaching the floor the endstop periodically kicks it up;
+        # attacks_up counts those forced attacks.
+        assert ctl.states[Domain.FLOATING_POINT].attacks_up > 0
+
+    def test_endstop_counter_resets_off_extreme(self):
+        ctl = started_controller()
+        state = ctl.states[Domain.INTEGER]
+        state.frequency_mhz = 500.0
+        ctl.on_interval(make_snapshot(0, {Domain.INTEGER: 1.0}))
+        assert state.upper_endstop == 0
+        assert state.lower_endstop == 0
+
+
+class TestIndependence:
+    def test_domains_with_identical_inputs_match(self):
+        ctl = started_controller()
+        for i in range(30):
+            ctl.on_interval(
+                make_snapshot(i, {Domain.INTEGER: 4.0, Domain.FLOATING_POINT: 4.0})
+            )
+        int_f = ctl.states[Domain.INTEGER].frequency_mhz
+        fp_f = ctl.states[Domain.FLOATING_POINT].frequency_mhz
+        assert fp_f < 1000.0  # steady utilization decays
+        assert int_f == pytest.approx(fp_f)
+
+    def test_domains_with_different_inputs_diverge(self):
+        ctl = started_controller()
+        for i in range(30):
+            ctl.on_interval(
+                make_snapshot(
+                    i, {Domain.INTEGER: 4.0 + (i % 3), Domain.FLOATING_POINT: 0.0}
+                )
+            )
+        assert (
+            ctl.states[Domain.INTEGER].frequency_mhz
+            != ctl.states[Domain.FLOATING_POINT].frequency_mhz
+        )
+
+    def test_targets_only_for_changed_domains(self):
+        ctl = started_controller(AttackDecayParams(decay_pct=0.0), smoothing_alpha=1.0)
+        ctl.on_interval(make_snapshot(0, {Domain.INTEGER: 0.0}, ipc=1.0))
+        targets = ctl.on_interval(make_snapshot(1, {Domain.INTEGER: 0.0}, ipc=0.5))
+        # Decay disabled and IPC guard active: nothing changes.
+        assert targets == {}
+
+
+class TestStateProperties:
+    @given(
+        st.lists(
+            st.floats(min_value=0.0, max_value=30.0), min_size=5, max_size=120
+        ),
+        st.lists(
+            st.floats(min_value=0.1, max_value=4.0), min_size=5, max_size=120
+        ),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_frequency_always_in_legal_range(self, utils, ipcs):
+        ctl = started_controller()
+        n = min(len(utils), len(ipcs))
+        for i in range(n):
+            ctl.on_interval(
+                make_snapshot(i, {Domain.INTEGER: utils[i]}, ipc=ipcs[i])
+            )
+            f = ctl.states[Domain.INTEGER].frequency_mhz
+            assert 250.0 - 1e-9 <= f <= 1000.0 + 1e-9
+
+    @given(st.lists(st.floats(min_value=0, max_value=20), min_size=3, max_size=60))
+    @settings(max_examples=40, deadline=None)
+    def test_mode_counters_account_for_all_intervals(self, utils):
+        ctl = started_controller()
+        for i, u in enumerate(utils):
+            ctl.on_interval(make_snapshot(i, {Domain.INTEGER: u}))
+        s = ctl.states[Domain.INTEGER]
+        assert s.attacks_up + s.attacks_down + s.decays + s.holds == len(utils)

@@ -1,0 +1,123 @@
+"""Tests for the combining branch predictor and BTB."""
+
+import pytest
+
+from repro.config.processor import ProcessorConfig
+from repro.uarch.branch_predictor import (
+    BranchStats,
+    BranchTargetBuffer,
+    CombiningBranchPredictor,
+    _counter_update,
+)
+
+
+class TestCounterUpdate:
+    def test_saturates_high(self):
+        assert _counter_update(3, True) == 3
+
+    def test_saturates_low(self):
+        assert _counter_update(0, False) == 0
+
+    def test_moves_toward_taken(self):
+        assert _counter_update(1, True) == 2
+
+    def test_moves_toward_not_taken(self):
+        assert _counter_update(2, False) == 1
+
+
+class TestBTB:
+    def test_miss_then_hit(self):
+        btb = BranchTargetBuffer(sets=16, ways=2)
+        assert btb.lookup(0x1000) is None
+        btb.update(0x1000, 0x2000)
+        assert btb.lookup(0x1000) == 0x2000
+
+    def test_lru_eviction(self):
+        btb = BranchTargetBuffer(sets=1, ways=2)
+        btb.update(0x10, 1)
+        btb.update(0x20, 2)
+        btb.update(0x30, 3)  # evicts 0x10 (LRU)
+        assert btb.lookup(0x10) is None
+        assert btb.lookup(0x20) == 2
+        assert btb.lookup(0x30) == 3
+
+    def test_lookup_refreshes_lru(self):
+        btb = BranchTargetBuffer(sets=1, ways=2)
+        btb.update(0x10, 1)
+        btb.update(0x20, 2)
+        btb.lookup(0x10)  # refresh
+        btb.update(0x30, 3)  # now evicts 0x20
+        assert btb.lookup(0x10) == 1
+        assert btb.lookup(0x20) is None
+
+    def test_update_replaces_target(self):
+        btb = BranchTargetBuffer(sets=4, ways=2)
+        btb.update(0x40, 100)
+        btb.update(0x40, 200)
+        assert btb.lookup(0x40) == 200
+
+    def test_word_indexing_uses_all_sets(self):
+        # 4-byte-aligned pcs must not alias onto a quarter of the sets.
+        btb = BranchTargetBuffer(sets=4, ways=1)
+        for i in range(4):
+            btb.update(i * 4, i)
+        assert all(btb.lookup(i * 4) == i for i in range(4))
+
+    def test_bad_geometry_rejected(self):
+        with pytest.raises(ValueError):
+            BranchTargetBuffer(sets=0, ways=2)
+
+
+class TestPredictor:
+    def test_learns_always_taken(self, processor_config):
+        p = CombiningBranchPredictor(processor_config)
+        for _ in range(100):
+            p.access(0x1000, taken=True, target=0x2000)
+        assert p.stats.accuracy > 0.95
+
+    def test_learns_always_not_taken(self, processor_config):
+        p = CombiningBranchPredictor(processor_config)
+        for _ in range(100):
+            p.access(0x1000, taken=False, target=0)
+        assert p.stats.accuracy > 0.95
+
+    def test_learns_short_loop_pattern(self, processor_config):
+        p = CombiningBranchPredictor(processor_config)
+        for i in range(4000):
+            taken = (i % 8) != 0
+            p.access(0x1000, taken=taken, target=0x2000)
+        # Two-level predictor captures a period-8 pattern in 10-bit history.
+        late = BranchStats()
+        for i in range(4000, 5000):
+            taken = (i % 8) != 0
+            if p.access(0x1000, taken=taken, target=0x2000):
+                late.direction_mispredicts += 1
+            late.lookups += 1
+        assert 1.0 - late.direction_mispredicts / late.lookups > 0.9
+
+    def test_btb_target_miss_counts_as_mispredict(self, processor_config):
+        p = CombiningBranchPredictor(processor_config)
+        # Train direction taken.
+        for _ in range(10):
+            p.access(0x1000, taken=True, target=0x2000)
+        before = p.stats.mispredicts
+        # Same direction, changed target: one BTB target miss.
+        p.access(0x1000, taken=True, target=0x3000)
+        assert p.stats.btb_target_misses >= 1
+        assert p.stats.mispredicts > before
+
+    def test_not_taken_never_checks_btb(self, processor_config):
+        p = CombiningBranchPredictor(processor_config)
+        for _ in range(50):
+            p.access(0x1000, taken=False, target=0)
+        assert p.stats.btb_target_misses == 0
+
+    def test_distinct_sites_independent(self, processor_config):
+        p = CombiningBranchPredictor(processor_config)
+        for _ in range(200):
+            p.access(0x1000, taken=True, target=0x2000)
+            p.access(0x2004, taken=False, target=0)
+        assert p.stats.accuracy > 0.9
+
+    def test_stats_accuracy_empty(self):
+        assert BranchStats().accuracy == 1.0

@@ -1,0 +1,104 @@
+"""Tests for the set-associative caches and the hierarchy."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config.processor import ProcessorConfig
+from repro.errors import ConfigError
+from repro.uarch.caches import CacheHierarchy, MemoryLevel, SetAssociativeCache
+
+
+class TestSetAssociativeCache:
+    def test_compulsory_miss_then_hit(self):
+        c = SetAssociativeCache(size_kb=4, ways=2, line_bytes=64, name="t")
+        assert not c.access(0x1000)
+        assert c.access(0x1000)
+        assert c.stats.accesses == 2
+        assert c.stats.misses == 1
+
+    def test_same_line_different_offset_hits(self):
+        c = SetAssociativeCache(4, 2, 64, "t")
+        c.access(0x1000)
+        assert c.access(0x103F)  # same 64B line
+
+    def test_lru_eviction_within_set(self):
+        # Direct-mapped, 2 sets: lines mapping to the same set conflict.
+        c = SetAssociativeCache(size_kb=1, ways=8, line_bytes=64, name="t")
+        # 1KB/64B = 16 lines, 8 ways -> 2 sets.  Even lines map to set 0.
+        addresses = [i * 128 for i in range(9)]  # nine lines in set 0
+        for a in addresses:
+            c.access(a)
+        assert not c.probe(addresses[0])  # evicted (LRU)
+        assert c.probe(addresses[-1])
+
+    def test_probe_does_not_allocate_or_count(self):
+        c = SetAssociativeCache(4, 2, 64, "t")
+        assert not c.probe(0x5000)
+        assert c.stats.accesses == 0
+        assert not c.access(0x5000)  # still a miss: probe didn't allocate
+
+    def test_miss_rate(self):
+        c = SetAssociativeCache(4, 2, 64, "t")
+        c.access(0)
+        c.access(0)
+        assert c.stats.miss_rate == pytest.approx(0.5)
+
+    def test_zero_accesses_zero_miss_rate(self):
+        c = SetAssociativeCache(4, 2, 64, "t")
+        assert c.stats.miss_rate == 0.0
+
+    def test_bad_geometry_rejected(self):
+        with pytest.raises(ConfigError):
+            SetAssociativeCache(1, 32, 64, "t")  # 16 lines, 32 ways
+        with pytest.raises(ConfigError):
+            SetAssociativeCache(4, 2, 60, "t")  # non power-of-two line
+
+    @given(st.lists(st.integers(min_value=0, max_value=1 << 20), min_size=1, max_size=500))
+    @settings(max_examples=50)
+    def test_capacity_invariant(self, addresses):
+        c = SetAssociativeCache(4, 2, 64, "t")
+        for a in addresses:
+            c.access(a)
+        total_lines = sum(len(s) for s in c._sets)
+        assert total_lines <= 4 * 1024 // 64
+        assert all(len(s) <= c.ways for s in c._sets)
+
+    @given(st.lists(st.integers(min_value=0, max_value=1 << 16), min_size=1, max_size=300))
+    @settings(max_examples=50)
+    def test_immediate_rereference_always_hits(self, addresses):
+        c = SetAssociativeCache(64, 2, 64, "t")
+        for a in addresses:
+            c.access(a)
+            assert c.probe(a)
+
+
+class TestHierarchy:
+    def test_table4_geometry(self, processor_config):
+        h = CacheHierarchy(processor_config)
+        assert h.l1d.sets * h.l1d.ways == 64 * 1024 // 64
+        assert h.l1i.sets * h.l1i.ways == 64 * 1024 // 64
+        assert h.l2.ways == 1
+        assert h.l2.sets == 1024 * 1024 // 64
+
+    def test_miss_path_reaches_memory(self, processor_config):
+        h = CacheHierarchy(processor_config)
+        assert h.data_access(0xDEAD000) is MemoryLevel.MEMORY
+        assert h.data_access(0xDEAD000) is MemoryLevel.L1
+
+    def test_l2_serves_l1_evictions(self, processor_config):
+        h = CacheHierarchy(processor_config)
+        # Fill L1D set 0 beyond associativity; lines remain in L2.
+        step = h.l1d.sets * 64
+        addresses = [i * step for i in range(4)]
+        for a in addresses:
+            h.data_access(a)
+        level = h.data_access(addresses[0])
+        assert level in (MemoryLevel.L1, MemoryLevel.L2)
+        assert level is not MemoryLevel.MEMORY
+
+    def test_instruction_and_data_share_l2(self, processor_config):
+        h = CacheHierarchy(processor_config)
+        h.instruction_access(0x40000)
+        # Same line via the data path: L1D misses, L2 hits.
+        assert h.data_access(0x40000) is MemoryLevel.L2

@@ -1,0 +1,51 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_catalog_parses(self):
+        args = build_parser().parse_args(["catalog"])
+        assert args.command == "catalog"
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run", "adpcm"])
+        assert args.benchmark == "adpcm"
+        assert args.algorithm == "attack-decay"
+        assert not args.sync
+
+    def test_compare_requires_benchmarks(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["compare"])
+
+    def test_command_required(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestExecution:
+    def test_catalog_lists_thirty(self, capsys):
+        assert main(["catalog"]) == 0
+        out = capsys.readouterr().out
+        assert "adpcm" in out
+        assert "voronoi" in out
+
+    def test_hardware_prints_table3(self, capsys):
+        assert main(["hardware"]) == 0
+        out = capsys.readouterr().out
+        assert "476" in out
+        assert "2016" in out or "2,016" in out
+
+    def test_run_tiny(self, capsys):
+        assert main(["run", "adpcm", "--scale", "0.05", "--algorithm", "none"]) == 0
+        out = capsys.readouterr().out
+        assert "CPI:" in out
+        assert "final domain frequencies" in out
+
+    def test_run_unknown_benchmark_raises(self):
+        from repro.errors import WorkloadError
+
+        with pytest.raises(WorkloadError):
+            main(["run", "nonesuch"])

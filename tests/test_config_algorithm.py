@@ -1,0 +1,102 @@
+"""Tests for Attack/Decay parameters (paper Table 2)."""
+
+import pytest
+
+from repro.config.algorithm import (
+    ATTACK_DECAY_PARAMETER_RANGES,
+    PAPER_OPERATING_POINT,
+    AttackDecayParams,
+    ParameterRange,
+)
+from repro.errors import ConfigError
+
+
+class TestPaperOperatingPoint:
+    def test_section5_values(self):
+        p = PAPER_OPERATING_POINT
+        assert p.deviation_threshold_pct == 1.75
+        assert p.reaction_change_pct == 6.0
+        assert p.decay_pct == 0.175
+        assert p.perf_deg_threshold_pct == 2.5
+        assert p.endstop_intervals == 10
+        assert p.interval_instructions == 10_000
+
+    def test_fraction_properties(self):
+        p = PAPER_OPERATING_POINT
+        assert p.deviation_threshold == pytest.approx(0.0175)
+        assert p.reaction_change == pytest.approx(0.06)
+        assert p.decay == pytest.approx(0.00175)
+        assert p.perf_deg_threshold == pytest.approx(0.025)
+
+    def test_legend_format(self):
+        assert PAPER_OPERATING_POINT.legend() == "1.750_06.0_0.175_2.5"
+
+    def test_within_table2(self):
+        PAPER_OPERATING_POINT.validate_against_table2()
+
+
+class TestTable2Ranges:
+    def test_all_five_parameters_present(self):
+        assert set(ATTACK_DECAY_PARAMETER_RANGES) == {
+            "deviation_threshold",
+            "reaction_change",
+            "decay",
+            "perf_deg_threshold",
+            "endstop_count",
+        }
+
+    def test_range_bounds(self):
+        r = ATTACK_DECAY_PARAMETER_RANGES
+        assert (r["deviation_threshold"].low, r["deviation_threshold"].high) == (0.0, 2.5)
+        assert (r["reaction_change"].low, r["reaction_change"].high) == (0.5, 15.5)
+        assert (r["decay"].low, r["decay"].high) == (0.0, 2.0)
+        assert (r["perf_deg_threshold"].low, r["perf_deg_threshold"].high) == (0.0, 12.0)
+        assert (r["endstop_count"].low, r["endstop_count"].high) == (1, 25)
+
+    def test_sweep_endpoints(self):
+        rng = ParameterRange("x", 1.0, 3.0)
+        values = list(rng.sweep(5))
+        assert values[0] == 1.0
+        assert values[-1] == 3.0
+        assert len(values) == 5
+
+    def test_sweep_single_point(self):
+        rng = ParameterRange("x", 1.0, 3.0)
+        assert list(rng.sweep(1)) == [1.0]
+
+    def test_sweep_zero_points_raises(self):
+        with pytest.raises(ConfigError):
+            list(ParameterRange("x", 0, 1).sweep(0))
+
+    def test_inverted_range_raises(self):
+        with pytest.raises(ConfigError):
+            ParameterRange("x", 2.0, 1.0)
+
+
+class TestValidation:
+    def test_out_of_table2_detected(self):
+        params = AttackDecayParams(reaction_change_pct=20.0)
+        with pytest.raises(ConfigError):
+            params.validate_against_table2()
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"deviation_threshold_pct": -1.0},
+            {"reaction_change_pct": 0.0},
+            {"decay_pct": -0.1},
+            {"perf_deg_threshold_pct": -1.0},
+            {"endstop_intervals": 0},
+            {"interval_instructions": 0},
+        ],
+    )
+    def test_illegal_values_raise(self, kwargs):
+        with pytest.raises(ConfigError):
+            AttackDecayParams(**kwargs)
+
+    def test_with_returns_modified_copy(self):
+        base = AttackDecayParams()
+        changed = base.with_(decay_pct=1.0)
+        assert changed.decay_pct == 1.0
+        assert base.decay_pct == 0.175
+        assert changed.reaction_change_pct == base.reaction_change_pct

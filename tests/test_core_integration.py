@@ -1,0 +1,182 @@
+"""Integration tests: the full pipeline on small traces."""
+
+import pytest
+
+from repro.config.mcd import Domain, MCDConfig
+from repro.config.processor import ProcessorConfig
+from repro.control.attack_decay import AttackDecayController
+from repro.control.fixed import FixedFrequencyController
+from repro.uarch.core import CoreOptions, MCDCore
+from repro.uarch.isa import InstructionClass
+from repro.uarch.trace import InstructionBlock, ListTrace
+from repro.workloads.phases import INT_COMPUTE_MIX, FP_COMPUTE_MIX, Phase
+from repro.workloads.synthetic import SyntheticTrace
+
+
+def small_trace(n=5000, mix=INT_COMPUTE_MIX, **kw) -> SyntheticTrace:
+    return SyntheticTrace([Phase("p", n, mix, **kw)], seed=11)
+
+
+def run_core(trace, mcd=True, controller=None, interval=500, seed=1, **core_kw):
+    options = CoreOptions(
+        mcd=mcd, seed=seed, interval_instructions=interval, **core_kw
+    )
+    core = MCDCore(ProcessorConfig(), MCDConfig(), trace, controller, options)
+    return core.run()
+
+
+class TestBasicExecution:
+    def test_all_instructions_retire(self):
+        result = run_core(small_trace())
+        assert result.instructions == 5000
+
+    def test_time_and_energy_positive(self):
+        result = run_core(small_trace())
+        assert result.wall_time_ns > 0
+        assert result.energy > 0
+        assert result.cpi > 0.1
+
+    def test_deterministic_given_seed(self):
+        a = run_core(small_trace(), seed=5)
+        b = run_core(small_trace(), seed=5)
+        assert a.wall_time_ns == b.wall_time_ns
+        assert a.energy == b.energy
+
+    def test_different_seed_changes_mcd_timing(self):
+        a = run_core(small_trace(), seed=5)
+        b = run_core(small_trace(), seed=6)
+        assert a.wall_time_ns != b.wall_time_ns
+
+    def test_sync_baseline_is_seed_independent(self):
+        a = run_core(small_trace(), mcd=False, seed=5)
+        b = run_core(small_trace(), mcd=False, seed=6)
+        assert a.wall_time_ns == b.wall_time_ns
+
+    def test_single_instruction_trace(self):
+        block = InstructionBlock()
+        block.append(InstructionClass.INT_ALU)
+        result = run_core(ListTrace([block]))
+        assert result.instructions == 1
+
+    def test_serial_dependency_chain_bounds_cpi(self):
+        # Every instruction depends on its predecessor: CPI >= ~1.
+        block = InstructionBlock()
+        for _ in range(2000):
+            block.append(InstructionClass.INT_ALU, src1=1)
+        result = run_core(ListTrace([block]), mcd=False)
+        assert result.cpi >= 0.99
+
+    def test_independent_stream_exploits_width(self):
+        block = InstructionBlock()
+        for _ in range(2000):
+            block.append(InstructionClass.INT_ALU)  # no deps
+        result = run_core(ListTrace([block]), mcd=False)
+        # 4 int ALUs, decode width 4: CPI should approach 1/4-ish.
+        assert result.cpi < 0.6
+
+
+class TestDomainBehaviour:
+    def test_fp_domain_unused_for_integer_code(self):
+        result = run_core(small_trace())
+        assert result.domain_busy_cycles[Domain.FLOATING_POINT] == 0
+
+    def test_fp_domain_busy_for_fp_code(self):
+        result = run_core(small_trace(mix=FP_COMPUTE_MIX))
+        assert result.domain_busy_cycles[Domain.FLOATING_POINT] > 0
+
+    def test_idle_domain_still_burns_energy(self):
+        result = run_core(small_trace())
+        assert result.domain_energy[Domain.FLOATING_POINT] > 0
+
+    def test_memory_misses_touch_external_domain(self):
+        trace = small_trace(working_set_kb=8192, far_miss_fraction=0.3)
+        result = run_core(trace)
+        assert result.memory_accesses > 0
+        assert result.domain_energy[Domain.EXTERNAL] > 0
+
+    def test_mcd_carries_clock_energy_overhead(self):
+        e_sync = run_core(small_trace(), mcd=False).clock_energy
+        e_mcd = run_core(small_trace(), mcd=True).clock_energy
+        # MCD clock trees cost ~10 % extra; timings differ slightly so
+        # allow a loose band.
+        assert e_mcd > e_sync * 1.02
+
+
+class TestFrequencyControl:
+    def test_fixed_controller_slows_everything(self):
+        slow = FixedFrequencyController(
+            {
+                Domain.INTEGER: 500.0,
+                Domain.FLOATING_POINT: 500.0,
+                Domain.LOAD_STORE: 500.0,
+            }
+        )
+        fast = run_core(small_trace())
+        slowed = run_core(small_trace(), controller=slow)
+        assert slowed.wall_time_ns > fast.wall_time_ns
+        assert slowed.energy < fast.energy
+
+    def test_half_frequency_integer_domain_roughly_halves_int_throughput(self):
+        block = InstructionBlock()
+        for _ in range(4000):
+            block.append(InstructionClass.INT_ALU, src1=1)  # serial chain
+        fast = run_core(ListTrace([block]), mcd=False)
+        slow = run_core(
+            ListTrace([block]),
+            mcd=False,
+            controller=FixedFrequencyController({Domain.INTEGER: 500.0}),
+        )
+        ratio = slow.wall_time_ns / fast.wall_time_ns
+        assert ratio == pytest.approx(2.0, rel=0.25)
+
+    def test_attack_decay_reduces_energy_on_integer_code(self):
+        base = run_core(small_trace(20_000))
+        controlled = run_core(
+            small_trace(20_000), controller=AttackDecayController()
+        )
+        assert controlled.energy < base.energy
+        assert controlled.final_frequencies_mhz[Domain.FLOATING_POINT] < 1000.0
+
+    def test_front_end_stays_at_max_under_attack_decay(self):
+        controlled = run_core(
+            small_trace(10_000), controller=AttackDecayController()
+        )
+        assert controlled.final_frequencies_mhz[Domain.FRONT_END] == 1000.0
+
+    def test_interval_trace_recorded(self):
+        result = run_core(
+            small_trace(10_000),
+            controller=AttackDecayController(),
+            record_interval_trace=True,
+        )
+        assert len(result.intervals) == pytest.approx(20, abs=2)
+        record = result.intervals[0]
+        assert record.ipc > 0
+        assert Domain.INTEGER in record.queue_utilization
+
+
+class TestWarmup:
+    def test_warmup_improves_branch_accuracy(self):
+        trace1 = small_trace(20_000)
+        cold = run_core(trace1)
+        core = MCDCore(
+            ProcessorConfig(),
+            MCDConfig(),
+            small_trace(20_000),
+            options=CoreOptions(interval_instructions=500),
+        )
+        core.warm_up(small_trace(20_000), limit=20_000)
+        warm = core.run()
+        assert warm.branch_accuracy >= cold.branch_accuracy
+
+    def test_warmup_resets_statistics(self):
+        core = MCDCore(
+            ProcessorConfig(),
+            MCDConfig(),
+            small_trace(5000),
+            options=CoreOptions(interval_instructions=500),
+        )
+        replayed = core.warm_up(small_trace(5000), limit=5000)
+        assert replayed == 5000
+        assert core.predictor.stats.lookups == 0
+        assert core.hierarchy.l1d.stats.accesses == 0

@@ -1,0 +1,56 @@
+"""Documentation conventions: every public item carries a docstring."""
+
+import importlib
+import inspect
+import pkgutil
+
+import repro
+
+MODULES = [
+    name
+    for _, name, _ in pkgutil.walk_packages(repro.__path__, prefix="repro.")
+    if "__main__" not in name
+]
+
+
+def public_members(module):
+    for name, obj in vars(module).items():
+        if name.startswith("_"):
+            continue
+        if inspect.isclass(obj) or inspect.isfunction(obj):
+            if getattr(obj, "__module__", None) == module.__name__:
+                yield name, obj
+
+
+def test_every_module_has_a_docstring():
+    missing = []
+    for name in MODULES:
+        module = importlib.import_module(name)
+        if not (module.__doc__ or "").strip():
+            missing.append(name)
+    assert not missing, f"modules without docstrings: {missing}"
+
+
+def test_every_public_class_and_function_has_a_docstring():
+    missing = []
+    for name in MODULES:
+        module = importlib.import_module(name)
+        for member_name, obj in public_members(module):
+            if not (obj.__doc__ or "").strip():
+                missing.append(f"{name}.{member_name}")
+    assert not missing, f"public items without docstrings: {missing}"
+
+
+def test_public_methods_documented():
+    missing = []
+    for name in MODULES:
+        module = importlib.import_module(name)
+        for member_name, obj in public_members(module):
+            if not inspect.isclass(obj):
+                continue
+            for meth_name, meth in vars(obj).items():
+                if meth_name.startswith("_") or not inspect.isfunction(meth):
+                    continue
+                if not (meth.__doc__ or "").strip():
+                    missing.append(f"{name}.{member_name}.{meth_name}")
+    assert not missing, f"public methods without docstrings: {missing}"

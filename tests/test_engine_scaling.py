@@ -1,0 +1,82 @@
+"""Tests for the engine's scaled slew and global memory tracking."""
+
+import pytest
+
+from repro.sim.engine import (
+    SCALED_SLEW_NS_PER_MHZ,
+    SimulationSpec,
+    run_spec,
+    scaled_mcd_config,
+)
+
+SCALE = 0.08
+
+
+class TestScaledSlew:
+    def test_catalog_config_uses_compressed_slew(self):
+        config = scaled_mcd_config()
+        assert config.slew_ns_per_mhz == SCALED_SLEW_NS_PER_MHZ
+        # Everything else is Table 1.
+        assert config.max_frequency_mhz == 1000.0
+        assert config.sync_window_ns == pytest.approx(0.3)
+
+    def test_full_range_transition_spans_a_few_intervals(self):
+        # The compression rationale: a full 750 MHz swing should take
+        # on the order of the paper's ~3.7 control intervals (interval
+        # ~ 500 instructions ~ 300-500 ns at IPC 1-2).
+        config = scaled_mcd_config()
+        assert 2.0 <= config.slew_time_ns(250.0, 1000.0) / 400.0 <= 8.0
+
+
+class TestGlobalMemoryTracking:
+    def test_memory_tracking_slows_memory_bound_runs(self):
+        fixed = run_spec(
+            SimulationSpec(
+                benchmark="mcf",
+                mcd=False,
+                global_frequency_mhz=500.0,
+                memory_tracks_global=False,
+                scale=SCALE,
+            )
+        )
+        tracked = run_spec(
+            SimulationSpec(
+                benchmark="mcf",
+                mcd=False,
+                global_frequency_mhz=500.0,
+                memory_tracks_global=True,
+                scale=SCALE,
+            )
+        )
+        # Doubling effective memory latency must hurt a pointer-chaser.
+        assert tracked.wall_time_ns > fixed.wall_time_ns * 1.3
+
+    def test_tracking_is_noop_at_full_frequency(self):
+        a = run_spec(
+            SimulationSpec(
+                benchmark="adpcm",
+                mcd=False,
+                global_frequency_mhz=1000.0,
+                memory_tracks_global=True,
+                scale=SCALE,
+            )
+        )
+        b = run_spec(
+            SimulationSpec(
+                benchmark="adpcm",
+                mcd=False,
+                global_frequency_mhz=1000.0,
+                memory_tracks_global=False,
+                scale=SCALE,
+            )
+        )
+        assert a.wall_time_ns == b.wall_time_ns
+
+    def test_tracking_ignored_without_global_frequency(self):
+        a = run_spec(
+            SimulationSpec(benchmark="adpcm", memory_tracks_global=True, scale=SCALE)
+        )
+        b = run_spec(
+            SimulationSpec(benchmark="adpcm", memory_tracks_global=False, scale=SCALE)
+        )
+        assert a.wall_time_ns == b.wall_time_ns

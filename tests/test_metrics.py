@@ -1,0 +1,122 @@
+"""Tests for run summaries, comparisons and aggregation."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import SimulationError
+from repro.metrics.aggregate import aggregate
+from repro.metrics.summary import Comparison, RunSummary, compare
+
+
+def summary(time_ns: float, energy: float, instructions: int = 1000) -> RunSummary:
+    return RunSummary(
+        instructions=instructions,
+        wall_time_ns=time_ns,
+        energy=energy,
+        cpi=time_ns / instructions,
+        epi=energy / instructions,
+        power=energy / time_ns,
+        edp=energy * time_ns,
+    )
+
+
+class TestCompare:
+    def test_identical_runs_compare_to_zero(self):
+        ref = summary(1000.0, 500.0)
+        c = compare(ref, ref)
+        assert c.performance_degradation == 0.0
+        assert c.energy_savings == 0.0
+        assert c.edp_improvement == 0.0
+
+    def test_slower_run_degrades(self):
+        c = compare(summary(1100.0, 500.0), summary(1000.0, 500.0))
+        assert c.performance_degradation == pytest.approx(0.10)
+
+    def test_cheaper_run_saves_energy(self):
+        c = compare(summary(1000.0, 400.0), summary(1000.0, 500.0))
+        assert c.energy_savings == pytest.approx(0.20)
+        assert c.epi_reduction == pytest.approx(0.20)
+
+    def test_paper_arithmetic_example(self):
+        # 3.2 % slower, 19 % less energy => EDP improves ~16.4 %,
+        # power/perf ratio ~6.8 (power saved 21.5 % / 3.2 %).
+        run = summary(1032.0, 810.0)
+        ref = summary(1000.0, 1000.0)
+        c = compare(run, ref)
+        assert c.edp_improvement == pytest.approx(1 - 0.81 * 1.032, abs=1e-9)
+        assert c.power_savings == pytest.approx(1 - 0.81 / 1.032, abs=1e-9)
+
+    def test_mismatched_instruction_counts_rejected(self):
+        with pytest.raises(SimulationError):
+            compare(summary(1, 1, instructions=10), summary(1, 1, instructions=20))
+
+    def test_zero_reference_rejected(self):
+        zero_ref = RunSummary(
+            instructions=1000,
+            wall_time_ns=0.0,
+            energy=0.0,
+            cpi=0.0,
+            epi=0.0,
+            power=0.0,
+            edp=0.0,
+        )
+        with pytest.raises(SimulationError):
+            compare(summary(1000, 500), zero_ref)
+
+    def test_ratio_infinite_without_degradation(self):
+        c = compare(summary(1000.0, 400.0), summary(1000.0, 500.0))
+        assert c.power_performance_ratio == float("inf")
+
+    def test_round_trip_dict(self):
+        s = summary(123.0, 456.0)
+        assert RunSummary.from_dict(s.to_dict()) == s
+
+    @given(
+        st.floats(min_value=1.0, max_value=1e6),
+        st.floats(min_value=1.0, max_value=1e6),
+        st.floats(min_value=1.0, max_value=1e6),
+        st.floats(min_value=1.0, max_value=1e6),
+    )
+    @settings(max_examples=100)
+    def test_edp_consistent_with_parts(self, t1, e1, t0, e0):
+        c = compare(summary(t1, e1), summary(t0, e0))
+        edp_ratio = (e1 * t1) / (e0 * t0)
+        assert c.edp_improvement == pytest.approx(1 - edp_ratio, rel=1e-9)
+
+
+class TestAggregate:
+    def _comparison(self, deg: float, save: float) -> Comparison:
+        return Comparison(
+            performance_degradation=deg,
+            energy_savings=save,
+            epi_reduction=save,
+            edp_improvement=save - deg,
+            power_savings=save - deg / 2,
+        )
+
+    def test_unweighted_mean(self):
+        agg = aggregate([self._comparison(0.02, 0.1), self._comparison(0.04, 0.3)])
+        assert agg.performance_degradation == pytest.approx(0.03)
+        assert agg.energy_savings == pytest.approx(0.2)
+        assert agg.count == 2
+
+    def test_weighted_mean(self):
+        comps = {"a": self._comparison(0.0, 0.0), "b": self._comparison(0.04, 0.4)}
+        agg = aggregate(comps, weights={"a": 3.0, "b": 1.0})
+        assert agg.performance_degradation == pytest.approx(0.01)
+        assert agg.energy_savings == pytest.approx(0.1)
+
+    def test_ratio_from_averages(self):
+        agg = aggregate([self._comparison(0.02, 0.1)])
+        assert agg.power_performance_ratio == pytest.approx(
+            agg.power_savings / agg.performance_degradation
+        )
+
+    def test_empty_rejected(self):
+        with pytest.raises(SimulationError):
+            aggregate([])
+
+    def test_weights_require_names(self):
+        with pytest.raises(SimulationError):
+            aggregate([self._comparison(0.1, 0.1)], weights={"a": 1.0})

@@ -1,0 +1,57 @@
+"""Tests for the Table 6 / Figure 4 drivers (tiny scale)."""
+
+import pytest
+
+from repro.config.algorithm import SCALED_OPERATING_POINT
+from repro.sim.experiment import ExperimentRunner
+from repro.sim.paper_results import PaperResults, compute_paper_results
+
+
+@pytest.fixture(scope="module")
+def results(tmp_path_factory) -> PaperResults:
+    runner = ExperimentRunner(
+        cache_dir=tmp_path_factory.mktemp("cache"), scale=0.08, seed=1
+    )
+    return compute_paper_results(
+        runner,
+        benchmarks=["adpcm", "gsm"],
+        params=SCALED_OPERATING_POINT,
+        include_globals=True,
+    )
+
+
+class TestPaperResults:
+    def test_all_algorithms_present(self, results):
+        assert set(results.vs_mcd) == {"attack_decay", "dynamic_1", "dynamic_5"}
+        assert "mcd_base" in results.vs_sync
+
+    def test_per_benchmark_coverage(self, results):
+        for per_bench in results.vs_mcd.values():
+            assert set(per_bench) == {"adpcm", "gsm"}
+
+    def test_table6_has_six_rows(self, results):
+        rows = results.table6_rows()
+        assert len(rows) == 6
+        labels = [r.algorithm for r in rows]
+        assert labels[:3] == ["attack_decay", "dynamic_1", "dynamic_5"]
+        assert all(l.startswith("Global") for l in labels[3:])
+
+    def test_global_frequencies_in_range(self, results):
+        for mhz in results.global_frequency.values():
+            assert 250.0 <= mhz <= 1000.0
+
+    def test_aggregates_are_finite(self, results):
+        for algorithm in results.vs_mcd:
+            agg = results.aggregate_vs_mcd(algorithm)
+            assert -1.0 < agg.performance_degradation < 1.0
+            assert -1.0 < agg.energy_savings < 1.0
+
+
+class TestExperimentsWriter:
+    def test_build_produces_markdown(self):
+        from repro.reporting.experiments import build
+
+        text = build()
+        assert text.startswith("# EXPERIMENTS")
+        assert "Table 6" in text
+        assert "Figure 4" in text

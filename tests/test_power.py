@@ -1,0 +1,124 @@
+"""Tests for the energy table, gating model and accounting."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config.mcd import Domain, MCDConfig
+from repro.errors import ConfigError
+from repro.power.accounting import EnergyAccounting
+from repro.power.gating import ClockGatingModel
+from repro.power.wattch import DEFAULT_ENERGIES, AccessEnergies
+
+
+class TestAccessEnergies:
+    def test_defaults_non_negative(self):
+        for name, value in DEFAULT_ENERGIES.__dict__.items():
+            assert value >= 0, name
+
+    def test_negative_energy_rejected(self):
+        with pytest.raises(ConfigError):
+            AccessEnergies(l1d_access=-0.1)
+
+    def test_external_domain_has_no_clock(self):
+        assert DEFAULT_ENERGIES.clock_energy(Domain.EXTERNAL) == 0.0
+
+    def test_each_domain_has_clock_energy(self):
+        for domain in (
+            Domain.FRONT_END,
+            Domain.INTEGER,
+            Domain.FLOATING_POINT,
+            Domain.LOAD_STORE,
+        ):
+            assert DEFAULT_ENERGIES.clock_energy(domain) > 0
+
+    def test_idle_overhead_positive_on_chip(self):
+        assert DEFAULT_ENERGIES.idle_overhead(Domain.FLOATING_POINT) > 0
+        assert DEFAULT_ENERGIES.idle_overhead(Domain.EXTERNAL) == 0.0
+
+
+class TestGating:
+    def test_busy_cycle_full_energy(self):
+        g = ClockGatingModel(idle_residual=0.2)
+        assert g.cycle_clock_energy(1.0, busy=True) == 1.0
+
+    def test_idle_cycle_residual(self):
+        g = ClockGatingModel(idle_residual=0.2)
+        assert g.cycle_clock_energy(1.0, busy=False) == pytest.approx(0.2)
+
+    def test_residual_bounds(self):
+        with pytest.raises(ConfigError):
+            ClockGatingModel(idle_residual=1.5)
+        with pytest.raises(ConfigError):
+            ClockGatingModel(idle_residual=-0.1)
+
+
+class TestAccounting:
+    def test_busy_cycle_charges_clock_plus_structure(self, mcd_config):
+        acct = EnergyAccounting(mcd_config, mcd_clocking=False)
+        charged = acct.charge_cycle(Domain.INTEGER, 1.20, access_energy=0.5, busy=True)
+        expected = DEFAULT_ENERGIES.clock_integer + 0.5
+        assert charged == pytest.approx(expected)
+
+    def test_voltage_scaling_quadratic(self, mcd_config):
+        full = EnergyAccounting(mcd_config, mcd_clocking=False)
+        half = EnergyAccounting(mcd_config, mcd_clocking=False)
+        e_full = full.charge_cycle(Domain.INTEGER, 1.20, 1.0, True)
+        e_half = half.charge_cycle(Domain.INTEGER, 0.60, 1.0, True)
+        assert e_half == pytest.approx(e_full * 0.25)
+
+    def test_mcd_clock_overhead_applied_to_clock_only(self, mcd_config):
+        sync = EnergyAccounting(mcd_config, mcd_clocking=False)
+        mcd = EnergyAccounting(mcd_config, mcd_clocking=True)
+        e_sync = sync.charge_cycle(Domain.INTEGER, 1.20, 1.0, True)
+        e_mcd = mcd.charge_cycle(Domain.INTEGER, 1.20, 1.0, True)
+        clock = DEFAULT_ENERGIES.clock_integer
+        assert e_mcd - e_sync == pytest.approx(0.10 * clock)
+
+    def test_idle_cheaper_than_busy(self, mcd_config):
+        acct = EnergyAccounting(mcd_config)
+        busy = acct.charge_cycle(Domain.FLOATING_POINT, 1.20, 0.0, True)
+        idle = acct.charge_cycle(Domain.FLOATING_POINT, 1.20, 0.0, False)
+        assert idle < busy
+
+    def test_bulk_idle_matches_per_cycle_idle(self, mcd_config):
+        a = EnergyAccounting(mcd_config)
+        b = EnergyAccounting(mcd_config)
+        for _ in range(100):
+            a.charge_cycle(Domain.LOAD_STORE, 0.9, 0.0, False)
+        b.charge_bulk_idle(Domain.LOAD_STORE, 0.9, 100)
+        assert a.total_energy == pytest.approx(b.total_energy)
+        assert a.meters[Domain.LOAD_STORE].idle_cycles == 100
+        assert b.meters[Domain.LOAD_STORE].idle_cycles == 100
+
+    def test_memory_access_charged_to_external(self, mcd_config):
+        acct = EnergyAccounting(mcd_config)
+        acct.charge_memory_access()
+        assert acct.meters[Domain.EXTERNAL].structure_energy == pytest.approx(
+            DEFAULT_ENERGIES.memory_access
+        )
+
+    def test_domain_shares_sum_to_one(self, mcd_config):
+        acct = EnergyAccounting(mcd_config)
+        acct.charge_cycle(Domain.INTEGER, 1.2, 1.0, True)
+        acct.charge_cycle(Domain.LOAD_STORE, 1.2, 2.0, True)
+        acct.charge_memory_access()
+        assert sum(acct.domain_shares().values()) == pytest.approx(1.0)
+
+    def test_empty_accounting_zero_shares(self, mcd_config):
+        acct = EnergyAccounting(mcd_config)
+        assert acct.total_energy == 0.0
+        assert acct.clock_energy_share() == 0.0
+
+    @given(
+        st.floats(min_value=0.65, max_value=1.2),
+        st.floats(min_value=0.0, max_value=10.0),
+        st.booleans(),
+    )
+    @settings(max_examples=100)
+    def test_charge_is_non_negative_and_accumulates(self, v, access, busy):
+        acct = EnergyAccounting(MCDConfig())
+        before = acct.total_energy
+        charged = acct.charge_cycle(Domain.INTEGER, v, access, busy)
+        assert charged >= 0
+        assert acct.total_energy == pytest.approx(before + charged)

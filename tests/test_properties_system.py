@@ -1,0 +1,131 @@
+"""System-level property tests: invariants of whole simulations."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.config.mcd import Domain, MCDConfig
+from repro.config.processor import ProcessorConfig
+from repro.control.fixed import FixedFrequencyController
+from repro.uarch.core import CoreOptions, MCDCore
+from repro.uarch.isa import InstructionClass
+from repro.workloads.phases import Phase
+from repro.workloads.synthetic import SyntheticTrace
+
+SLOW = settings(
+    max_examples=12,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+
+
+def random_phase(draw) -> Phase:
+    int_frac = draw(st.floats(min_value=0.1, max_value=0.6))
+    fp_frac = draw(st.floats(min_value=0.0, max_value=0.3))
+    load_frac = draw(st.floats(min_value=0.1, max_value=0.4))
+    branch_frac = draw(st.floats(min_value=0.02, max_value=0.2))
+    store_frac = 0.05
+    mix = {
+        InstructionClass.INT_ALU: int_frac,
+        InstructionClass.FP_ALU: fp_frac,
+        InstructionClass.LOAD: load_frac,
+        InstructionClass.STORE: store_frac,
+        InstructionClass.BRANCH: branch_frac,
+    }
+    total = sum(mix.values())
+    mix = {k: v / total for k, v in mix.items()}
+    return Phase(
+        "random",
+        draw(st.integers(min_value=1500, max_value=4000)),
+        mix,
+        dep_density=draw(st.floats(min_value=0.2, max_value=0.9)),
+        dep_mean_distance=draw(st.floats(min_value=2.0, max_value=12.0)),
+        working_set_kb=draw(st.sampled_from([8, 64, 512, 4096])),
+        far_miss_fraction=draw(st.floats(min_value=0.0, max_value=0.2)),
+        branch_noise=draw(st.floats(min_value=0.0, max_value=0.3)),
+    )
+
+
+@st.composite
+def phases_strategy(draw):
+    return [random_phase(draw) for _ in range(draw(st.integers(1, 3)))]
+
+
+def run(phases, seed=1, mcd=True, controller=None):
+    trace = SyntheticTrace(phases, seed=seed)
+    core = MCDCore(
+        ProcessorConfig(),
+        MCDConfig(),
+        trace,
+        controller,
+        CoreOptions(mcd=mcd, seed=seed, interval_instructions=500),
+    )
+    return core.run()
+
+
+class TestWholeRunInvariants:
+    @given(phases_strategy())
+    @SLOW
+    def test_all_instructions_retire_exactly_once(self, phases):
+        result = run(phases)
+        assert result.instructions == sum(p.instructions for p in phases)
+
+    @given(phases_strategy())
+    @SLOW
+    def test_time_bounded_below_by_fetch_width(self, phases):
+        result = run(phases)
+        # 4-wide fetch at 1 GHz: at least N/4 ns.
+        assert result.wall_time_ns >= result.instructions / 4.0 - 1.0
+
+    @given(phases_strategy())
+    @SLOW
+    def test_energy_positive_and_split_consistent(self, phases):
+        result = run(phases)
+        assert result.energy > 0
+        assert sum(result.domain_energy.values()) == pytest.approx(result.energy)
+        assert 0 < result.clock_energy < result.energy
+
+    @given(phases_strategy())
+    @SLOW
+    def test_busy_cycles_do_not_exceed_total_cycles(self, phases):
+        result = run(phases)
+        for domain in Domain:
+            busy = result.domain_busy_cycles[domain]
+            assert busy <= result.domain_cycles[domain]
+
+    @given(phases_strategy(), st.integers(min_value=1, max_value=100))
+    @SLOW
+    def test_mcd_determinism_per_seed(self, phases, seed):
+        a = run(phases, seed=seed)
+        b = run(phases, seed=seed)
+        assert a.wall_time_ns == b.wall_time_ns
+        assert a.energy == b.energy
+
+
+class TestFrequencyScalingProperties:
+    @given(st.sampled_from([400.0, 600.0, 800.0]))
+    @SLOW
+    def test_slowing_all_domains_costs_time_saves_energy(self, mhz):
+        phases = [
+            Phase(
+                "p",
+                3000,
+                {
+                    InstructionClass.INT_ALU: 0.5,
+                    InstructionClass.LOAD: 0.3,
+                    InstructionClass.STORE: 0.1,
+                    InstructionClass.BRANCH: 0.1,
+                },
+            )
+        ]
+        fast = run(phases, mcd=False)
+        controller = FixedFrequencyController(
+            {
+                Domain.INTEGER: mhz,
+                Domain.FLOATING_POINT: mhz,
+                Domain.LOAD_STORE: mhz,
+            }
+        )
+        slow = run(phases, mcd=False, controller=controller)
+        assert slow.wall_time_ns > fast.wall_time_ns
+        assert slow.energy < fast.energy

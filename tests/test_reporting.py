@@ -1,0 +1,61 @@
+"""Tests for table and figure rendering."""
+
+import pytest
+
+from repro.reporting.figures import ascii_chart, ascii_series
+from repro.reporting.tables import format_table
+
+
+class TestFormatTable:
+    def test_basic_render(self):
+        out = format_table(
+            ["Name", "Value"], [["alpha", 1.5], ["beta", 20]], title="T"
+        )
+        lines = out.splitlines()
+        assert lines[0] == "T"
+        assert "Name" in lines[1]
+        assert "-" in lines[2]
+        assert "alpha" in lines[3]
+
+    def test_numeric_right_aligned(self):
+        out = format_table(["A"], [["5"], ["500"]])
+        rows = out.splitlines()[2:]
+        assert rows[0].endswith("5")
+        assert rows[1].endswith("500")
+
+    def test_row_width_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            format_table(["A", "B"], [["only-one"]])
+
+    def test_percent_cells_treated_numeric(self):
+        out = format_table(["P"], [["1.5%"], ["10.0%"]])
+        assert out.splitlines()[2].endswith("1.5%")
+
+
+class TestAsciiFigures:
+    def test_series_length(self):
+        s = ascii_series([1, 2, 3, 4, 5] * 100, width=50)
+        assert len(s) == 50
+
+    def test_series_flat_input(self):
+        s = ascii_series([3.0] * 10)
+        assert len(set(s)) == 1
+
+    def test_series_empty(self):
+        assert ascii_series([]) == ""
+
+    def test_series_shorter_than_width(self):
+        assert len(ascii_series([1.0, 5.0], width=80)) == 2
+
+    def test_chart_renders_grid(self):
+        out = ascii_chart([0, 1, 2], [0, 1, 4], height=5, width=20)
+        assert "o" in out
+        assert out.count("\n") >= 6
+
+    def test_chart_rejects_mismatch(self):
+        with pytest.raises(ValueError):
+            ascii_chart([1, 2], [1])
+
+    def test_chart_single_point(self):
+        out = ascii_chart([1.0], [2.0])
+        assert "o" in out
