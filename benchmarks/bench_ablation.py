@@ -13,18 +13,21 @@
 from conftest import SWEEP_BENCHMARKS, pct, save_results
 
 from repro.config.algorithm import SCALED_OPERATING_POINT
-from repro.metrics.aggregate import aggregate
+from repro.experiments import Scenario
+from repro.experiments.builtins import attack_decay_scenario
 from repro.reporting.tables import format_table
 
 ABLATION_BENCHMARKS = SWEEP_BENCHMARKS[:5]
 
 
-def measure(runner, label, **attack_decay_kwargs):
-    comparisons = {}
-    for bench in ABLATION_BENCHMARKS:
-        record = runner.attack_decay(bench, **attack_decay_kwargs)
-        comparisons[bench] = runner.compare_to_mcd_base(record)
-    agg = aggregate(comparisons)
+def measure(orchestrator, label, params, literal_listing=False):
+    scenarios = [Scenario(b, "mcd_base") for b in ABLATION_BENCHMARKS]
+    scenarios += [
+        attack_decay_scenario(b, params, literal_listing)
+        for b in ABLATION_BENCHMARKS
+    ]
+    results = orchestrator.run(scenarios)
+    agg = results.aggregate(scenarios[-1].configuration, reference="mcd_base")
     return (
         label,
         pct(agg.performance_degradation),
@@ -34,36 +37,38 @@ def measure(runner, label, **attack_decay_kwargs):
     )
 
 
-def run_ablations(runner):
+def run_ablations(orchestrator):
     rows = [
-        measure(runner, "corrected guard (default)", params=SCALED_OPERATING_POINT),
+        measure(orchestrator, "corrected guard (default)", SCALED_OPERATING_POINT),
         measure(
-            runner,
+            orchestrator,
             "literal Listing-1 guard",
-            params=SCALED_OPERATING_POINT,
+            SCALED_OPERATING_POINT,
             literal_listing=True,
         ),
         measure(
-            runner,
+            orchestrator,
             "endstop effectively infinite",
-            params=SCALED_OPERATING_POINT.with_(endstop_intervals=10_000),
+            SCALED_OPERATING_POINT.with_(endstop_intervals=10_000),
         ),
         measure(
-            runner,
+            orchestrator,
             "overshooting attack (RC=15.5%)",
-            params=SCALED_OPERATING_POINT.with_(reaction_change_pct=15.5),
+            SCALED_OPERATING_POINT.with_(reaction_change_pct=15.5),
         ),
         measure(
-            runner,
+            orchestrator,
             "timid attack (RC=0.5%)",
-            params=SCALED_OPERATING_POINT.with_(reaction_change_pct=0.5),
+            SCALED_OPERATING_POINT.with_(reaction_change_pct=0.5),
         ),
     ]
     return rows
 
 
-def test_ablations(benchmark, runner):
-    rows = benchmark.pedantic(run_ablations, args=(runner,), rounds=1, iterations=1)
+def test_ablations(benchmark, orchestrator):
+    rows = benchmark.pedantic(
+        run_ablations, args=(orchestrator,), rounds=1, iterations=1
+    )
     table = format_table(
         ["Variant", "Perf Deg", "Energy Savings", "EDP Impr", "Ratio"],
         rows,

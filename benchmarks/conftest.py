@@ -7,7 +7,8 @@ cache.
 
 Environment knobs: ``REPRO_SCALE`` (workload length multiplier),
 ``REPRO_BENCHMARKS`` (comma-separated subset), ``REPRO_CACHE=0``
-(disable the cache).
+(disable the cache), ``REPRO_WORKERS`` (orchestrator process count —
+set it >1 to fan first-run simulation out across cores).
 """
 
 from __future__ import annotations
@@ -17,6 +18,7 @@ from pathlib import Path
 
 import pytest
 
+from repro.experiments import Orchestrator
 from repro.sim.experiment import ExperimentRunner
 
 RESULTS_DIR = Path(__file__).resolve().parents[1] / "results"
@@ -39,6 +41,12 @@ SWEEP_BENCHMARKS = [
 def runner() -> ExperimentRunner:
     """One cached experiment runner shared by the whole bench session."""
     return ExperimentRunner()
+
+
+@pytest.fixture(scope="session")
+def orchestrator() -> Orchestrator:
+    """A scenario orchestrator sharing the session cache (REPRO_WORKERS)."""
+    return Orchestrator()
 
 
 def save_results(name: str, payload: dict) -> Path:

@@ -1,63 +1,76 @@
 #!/usr/bin/env python3
-"""Quickstart: run one benchmark under Attack/Decay and read the dials.
+"""Quickstart: declare a scenario suite, orchestrate it, read the dials.
 
-Simulates the ``gsm`` workload three ways — fully synchronous baseline,
-baseline MCD (all domains at 1 GHz), and MCD under the Attack/Decay
-controller — then prints the paper's headline metrics.
+Expands a small matrix — the ``gsm`` workload under the fully
+synchronous baseline, the baseline MCD processor, and MCD under the
+Attack/Decay controller — runs it through the parallel orchestrator,
+and queries the result set for the paper's headline metrics.
 
 Run:  python examples/quickstart.py
 """
 
-from repro import (
-    AttackDecayController,
-    Domain,
-    SimulationSpec,
-    compare,
-    run_spec,
-    summarize,
-)
+from repro import Domain, Orchestrator, Scenario
+from repro.experiments.builtins import attack_decay_scenario
 from repro.config.algorithm import SCALED_OPERATING_POINT
 
 
 def main() -> None:
     benchmark = "gsm"
 
-    print(f"Simulating {benchmark!r} (fully synchronous baseline)...")
-    sync = run_spec(SimulationSpec(benchmark=benchmark, mcd=False))
-
-    print(f"Simulating {benchmark!r} (baseline MCD, all domains 1 GHz)...")
-    mcd = run_spec(SimulationSpec(benchmark=benchmark, mcd=True))
-
-    print(f"Simulating {benchmark!r} (MCD + Attack/Decay)...")
-    controller = AttackDecayController(SCALED_OPERATING_POINT)
-    controlled = run_spec(
-        SimulationSpec(benchmark=benchmark, mcd=True, controller=controller)
-    )
+    # Every configuration is a registry name (python -m repro
+    # list-configurations); a Scenario pins one to a benchmark.
+    # Parameterised operating points are named scenarios too —
+    # attack_decay_scenario() encodes one.  (For uniform cross-products
+    # over many benchmarks/configurations/seeds, declare a Suite
+    # instead and pass it to the same Orchestrator.)
+    attack_decay = attack_decay_scenario(benchmark, SCALED_OPERATING_POINT)
+    scenarios = [
+        Scenario(benchmark, "sync"),
+        Scenario(benchmark, "mcd_base"),
+        attack_decay,
+    ]
+    print(f"Orchestrating {len(scenarios)} scenarios for {benchmark!r}...")
+    results = Orchestrator(workers=2, use_cache=False).run(scenarios)
 
     print()
     print(f"{'configuration':24s} {'CPI':>7s} {'EPI':>8s} {'energy':>10s}")
-    for label, result in (
-        ("fully synchronous", sync),
-        ("baseline MCD", mcd),
-        ("MCD + Attack/Decay", controlled),
+    for label, configuration in (
+        ("fully synchronous", "sync"),
+        ("baseline MCD", "mcd_base"),
+        ("MCD + Attack/Decay", attack_decay.configuration),
     ):
-        print(
-            f"{label:24s} {result.cpi:7.3f} {result.epi:8.3f} {result.energy:10.0f}"
-        )
+        s = results.get(benchmark, configuration).summary
+        print(f"{label:24s} {s.cpi:7.3f} {s.epi:8.3f} {s.energy:10.0f}")
 
-    inherent = compare(summarize(mcd), summarize(sync))
-    vs_mcd = compare(summarize(controlled), summarize(mcd))
+    # ResultSet.compare/aggregate derive the paper's Section 5
+    # statistics from any pair of configurations.
+    inherent = results.compare("mcd_base", reference="sync")[benchmark]
+    vs_mcd = results.compare(attack_decay.configuration, reference="mcd_base")[
+        benchmark
+    ]
     print()
     print(f"inherent MCD degradation: {inherent.performance_degradation:+.2%}")
-    print(f"Attack/Decay vs baseline MCD:")
+    print("Attack/Decay vs baseline MCD:")
     print(f"  performance degradation: {vs_mcd.performance_degradation:+.2%}")
     print(f"  energy savings:          {vs_mcd.energy_savings:+.2%}")
     print(f"  EDP improvement:         {vs_mcd.edp_improvement:+.2%}")
     print(f"  power/perf ratio:        {vs_mcd.power_performance_ratio:.1f}")
 
+    # Full results (domain frequencies, interval traces) come from a
+    # direct run of the same spec the registry builds.
+    from repro import run_spec
+    from repro.experiments import CONFIGURATIONS, ExecutionContext
+
+    ctx = ExecutionContext(use_cache=False)  # REPRO_SCALE-aware defaults
+    factory, params = CONFIGURATIONS.resolve(attack_decay.configuration)
+    spec = factory(
+        ctx, benchmark, scale=ctx.scale, seed=ctx.seed,
+        **{**params, **attack_decay.override_mapping()},
+    )
+    result = run_spec(spec)
     print()
     print("final domain frequencies under Attack/Decay (MHz):")
-    for domain, mhz in controlled.final_frequencies_mhz.items():
+    for domain, mhz in result.final_frequencies_mhz.items():
         if domain is not Domain.EXTERNAL:
             print(f"  {domain.value:16s} {mhz:7.1f}")
 

@@ -5,21 +5,36 @@ Microarchitecture*: a four-domain GALS out-of-order processor whose
 per-domain frequencies/voltages are steered on-line by the Attack/Decay
 controller using issue-queue utilization.
 
-Quick start::
+Quick start — declare a scenario matrix and orchestrate it::
 
-    from repro import (
-        AttackDecayController, AttackDecayParams, SimulationSpec, run_spec,
+    from repro import Orchestrator, Suite
+
+    suite = Suite(
+        benchmarks=["adpcm", "gsm", "epic"],
+        configurations=["sync", "mcd_base", "attack_decay", "dynamic_5"],
     )
+    results = Orchestrator(workers=4).run(suite)
 
-    spec = SimulationSpec(
-        benchmark="epic",
-        controller=AttackDecayController(AttackDecayParams()),
-    )
-    result = run_spec(spec)
-    print(result.cpi, result.epi)
+    record = results.get("gsm", "attack_decay")
+    print(record.summary.cpi, record.summary.epi)
+    print(results.aggregate("attack_decay", reference="mcd_base"))
 
-See ``examples/`` for complete scenarios and ``benchmarks/`` for the
-harness regenerating every table and figure of the paper.
+Configurations are named registry entries (``repro.CONFIGURATIONS``;
+``python -m repro list-configurations`` lists them) and new ones are one
+decorator away::
+
+    from repro import SimulationSpec, register_configuration
+
+    @register_configuration("my_config")
+    def my_config(ctx, benchmark, scale, seed):
+        "MCD processor with a custom twist."
+        return SimulationSpec(benchmark=benchmark, scale=scale, seed=seed)
+
+Single runs stay one call: build a
+:class:`~repro.sim.engine.SimulationSpec` and :func:`run_spec` it.  See
+``docs/experiments.md`` for the full scenario API, ``examples/`` for
+complete scenarios and ``benchmarks/`` for the harness regenerating
+every table and figure of the paper.
 """
 
 from repro.config import (
@@ -38,21 +53,41 @@ from repro.control import (
     build_offline_schedule,
     estimate_attack_decay_hardware,
 )
+from repro.experiments import (
+    CLOCKING_MODES,
+    CONFIGURATIONS,
+    CONTROLLERS,
+    ExecutionContext,
+    Orchestrator,
+    ResultSet,
+    RunOutcome,
+    Scenario,
+    Suite,
+    configuration_names,
+    register_clocking_mode,
+    register_configuration,
+    register_controller,
+    run_suite,
+)
 from repro.metrics import Comparison, RunSummary, aggregate, compare, summarize
 from repro.sim import ExperimentRunner, SimulationSpec, run_spec
 from repro.uarch import CoreOptions, CoreResult, MCDCore
 from repro.workloads import BENCHMARKS, Phase, SyntheticTrace, get_benchmark
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "AttackDecayController",
     "AttackDecayParams",
     "BENCHMARKS",
+    "CLOCKING_MODES",
+    "CONFIGURATIONS",
+    "CONTROLLERS",
     "Comparison",
     "CoreOptions",
     "CoreResult",
     "Domain",
+    "ExecutionContext",
     "ExperimentRunner",
     "FixedFrequencyController",
     "GlobalDVFSController",
@@ -60,18 +95,28 @@ __all__ = [
     "MCDCore",
     "OfflineController",
     "OfflineProfiler",
+    "Orchestrator",
     "PAPER_OPERATING_POINT",
     "Phase",
     "ProcessorConfig",
+    "ResultSet",
+    "RunOutcome",
     "RunSummary",
+    "Scenario",
     "SimulationSpec",
+    "Suite",
     "SyntheticTrace",
     "aggregate",
     "build_offline_schedule",
     "compare",
+    "configuration_names",
     "estimate_attack_decay_hardware",
     "get_benchmark",
+    "register_clocking_mode",
+    "register_configuration",
+    "register_controller",
     "run_spec",
+    "run_suite",
     "summarize",
     "__version__",
 ]

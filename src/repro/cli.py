@@ -4,9 +4,14 @@ Commands
 --------
 ``catalog``
     List the 30 benchmarks with suites and windows.
+``list-configurations``
+    Show every registered configuration, controller and clocking mode.
 ``run BENCH``
     Simulate one benchmark under a chosen configuration and print the
     headline metrics.
+``sweep``
+    Expand a benchmarks x configurations x seeds matrix and execute it
+    across a worker pool (the orchestrator behind the paper's tables).
 ``compare BENCH [BENCH ...]``
     Table-6-style comparison of the algorithms on a benchmark mix.
 ``hardware``
@@ -16,17 +21,25 @@ Commands
 from __future__ import annotations
 
 import argparse
+import json
+import logging
 import sys
+from pathlib import Path
 from typing import Sequence
 
 from repro.config.algorithm import AttackDecayParams, SCALED_OPERATING_POINT
-from repro.control.attack_decay import AttackDecayController
 from repro.control.hardware_cost import estimate_attack_decay_hardware
+from repro.experiments import (
+    CLOCKING_MODES,
+    CONFIGURATIONS,
+    CONTROLLERS,
+    Orchestrator,
+    Suite,
+)
 from repro.metrics.aggregate import aggregate
-from repro.metrics.summary import compare, summarize
-from repro.reporting.tables import format_table
+from repro.reporting.tables import format_table, resultset_table
 from repro.sim.engine import SimulationSpec, run_spec
-from repro.sim.experiment import ExperimentRunner
+from repro.sim.experiment import ExperimentRunner, quick_benchmarks
 from repro.workloads.catalog import BENCHMARKS, get_benchmark
 
 
@@ -45,13 +58,39 @@ def _cmd_catalog(_: argparse.Namespace) -> int:
     return 0
 
 
+def _first_doc_line(obj: object) -> str:
+    doc = (getattr(obj, "__doc__", None) or "").strip()
+    return doc.splitlines()[0] if doc else ""
+
+
+def _cmd_list_configurations(_: argparse.Namespace) -> int:
+    for title, registry in (
+        ("Configurations", CONFIGURATIONS),
+        ("Controllers", CONTROLLERS),
+        ("Clocking modes", CLOCKING_MODES),
+    ):
+        rows = [(name, _first_doc_line(registry.get(name))) for name in registry]
+        print(format_table(["Name", "Description"], rows, title=title))
+        print()
+    print(
+        "Parameterised names resolve too: dynamic_1, dynamic_5, "
+        "global@725.000, attack_decay[1.750_06.0_0.175_2.5][literal]."
+    )
+    return 0
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     get_benchmark(args.benchmark)  # validate early
-    controller = None
-    mcd = not args.sync
-    if args.algorithm == "attack-decay":
+    algorithm = args.algorithm.replace("-", "_")
+    controller_factory = CONTROLLERS.get(algorithm)
+    if algorithm == "attack_decay":
         params = SCALED_OPERATING_POINT if args.scaled else AttackDecayParams()
-        controller = AttackDecayController(params)
+        controller = controller_factory(params)
+    elif algorithm == "global_dvfs":
+        controller = controller_factory(args.frequency_mhz)
+    else:
+        controller = controller_factory()
+    mcd = not args.sync
     spec = SimulationSpec(
         benchmark=args.benchmark,
         mcd=mcd,
@@ -73,6 +112,70 @@ def _cmd_run(args: argparse.Namespace) -> int:
     for domain, mhz in result.final_frequencies_mhz.items():
         print(f"  {domain.value:16s} {mhz:7.1f}")
     return 0
+
+
+def _parse_csv(text: str) -> list[str]:
+    return [part.strip() for part in text.split(",") if part.strip()]
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    if args.verbose:
+        logging.basicConfig(
+            level=logging.INFO, format="%(levelname)s %(message)s"
+        )
+    benchmarks = (
+        quick_benchmarks() if args.benchmarks == "all" else _parse_csv(args.benchmarks)
+    )
+    suite = Suite(
+        benchmarks=benchmarks,
+        configurations=_parse_csv(args.configurations),
+        seeds=[int(s) for s in _parse_csv(args.seeds)],
+        scale=args.scale,
+        name="sweep",
+    )
+    orchestrator = Orchestrator(
+        workers=args.workers,
+        cache_dir=args.cache_dir,
+        use_cache=False if args.no_cache else None,
+    )
+    results = orchestrator.run(suite)
+    print(resultset_table(results, title="Sweep results"))
+    for outcome in results.errors:
+        print(f"\nFAILED {outcome.scenario.run_id}:\n{outcome.error}")
+    if args.reference and args.reference not in results.configurations:
+        print(
+            f"\n(no suite averages: reference {args.reference!r} is not in "
+            "this sweep's configurations)"
+        )
+    elif args.reference:
+        rows = []
+        for configuration in results.configurations:
+            if configuration == args.reference:
+                continue
+            agg = results.aggregate(configuration, args.reference)
+            rows.append(
+                (
+                    configuration,
+                    f"{agg.performance_degradation:.2%}",
+                    f"{agg.energy_savings:.2%}",
+                    f"{agg.edp_improvement:.2%}",
+                    f"{agg.power_performance_ratio:.1f}",
+                )
+            )
+        print()
+        print(
+            format_table(
+                ["Configuration", "Perf Deg", "Energy Savings", "EDP Impr", "Ratio"],
+                rows,
+                title=f"Suite averages vs {args.reference}",
+            )
+        )
+    if args.json:
+        path = Path(args.json)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(results.to_dict(), indent=1))
+        print(f"\nwrote {path}")
+    return 1 if results.errors else 0
 
 
 def _cmd_compare(args: argparse.Namespace) -> int:
@@ -135,18 +238,66 @@ def build_parser() -> argparse.ArgumentParser:
         func=_cmd_catalog
     )
 
+    sub.add_parser(
+        "list-configurations",
+        help="show the configuration/controller/clocking registries",
+    ).set_defaults(func=_cmd_list_configurations)
+
     run_p = sub.add_parser("run", help="simulate one benchmark")
     run_p.add_argument("benchmark")
     run_p.add_argument(
         "--algorithm",
-        choices=["none", "attack-decay"],
+        # Registry names, minus the passive profiling pass (not a
+        # run configuration) and the underscore alias of the default.
+        choices=sorted(
+            {"attack-decay", *CONTROLLERS.names()}
+            - {"attack_decay", "offline_profiler"}
+        ),
         default="attack-decay",
+        help="controller registry name ('none' for fixed frequencies)",
     )
     run_p.add_argument("--sync", action="store_true", help="fully synchronous")
+    run_p.add_argument(
+        "--frequency-mhz",
+        type=float,
+        default=1000.0,
+        help="target frequency for --algorithm global_dvfs",
+    )
     run_p.add_argument("--scaled", action="store_true", default=True)
     run_p.add_argument("--scale", type=float, default=1.0)
     run_p.add_argument("--seed", type=int, default=1)
     run_p.set_defaults(func=_cmd_run)
+
+    sweep_p = sub.add_parser(
+        "sweep", help="run a benchmarks x configurations x seeds matrix"
+    )
+    sweep_p.add_argument(
+        "--benchmarks",
+        default="all",
+        help="comma-separated catalog names, or 'all' (REPRO_BENCHMARKS aware)",
+    )
+    sweep_p.add_argument(
+        "--configurations",
+        default="sync,mcd_base,attack_decay",
+        help="comma-separated registry names (see list-configurations)",
+    )
+    sweep_p.add_argument("--seeds", default="1", help="comma-separated clock seeds")
+    sweep_p.add_argument(
+        "--workers", type=int, default=None, help="process count (REPRO_WORKERS)"
+    )
+    sweep_p.add_argument("--scale", type=float, default=None)
+    sweep_p.add_argument("--cache-dir", default=None)
+    sweep_p.add_argument("--no-cache", action="store_true")
+    sweep_p.add_argument(
+        "--reference",
+        default="mcd_base",
+        help="aggregate vs this configuration ('' to skip)",
+    )
+    sweep_p.add_argument(
+        "--json", default=None, help="write the ResultSet to this path"
+    )
+    sweep_p.add_argument("--verbose", action="store_true", help="progress logging")
+    sweep_p.set_defaults(func=_cmd_sweep)
 
     cmp_p = sub.add_parser("compare", help="compare algorithms on a mix")
     cmp_p.add_argument("benchmarks", nargs="+")

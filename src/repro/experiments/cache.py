@@ -1,0 +1,110 @@
+"""Content-addressed on-disk result cache.
+
+Every simulation outcome is stored as one small JSON file named by the
+SHA-1 of its identity payload (benchmark, configuration, scale, seed,
+overrides, cache version).  Writes go to a temporary file in the same
+directory and are published with :func:`os.replace`, so concurrent
+orchestrator workers can never leave a truncated entry behind — the
+worst case under a crash is a stray ``*.tmp`` file, never a corrupt
+``*.json``.  Unreadable entries are treated as misses and logged.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import logging
+import os
+import tempfile
+from pathlib import Path
+
+#: Bump when a change invalidates previously cached results.
+#: v4: registry-driven scenario API — keys now include overrides.
+CACHE_VERSION = 4
+
+#: Default cache location, shared by every runner and orchestrator.
+DEFAULT_CACHE_DIR = Path(__file__).resolve().parents[3] / "results" / "cache"
+
+logger = logging.getLogger(__name__)
+
+
+class CacheStore:
+    """A concurrency-safe JSON store keyed by content hash.
+
+    Parameters
+    ----------
+    directory:
+        Where entries live; created on first store.
+    enabled:
+        When False every load misses and every store is a no-op
+        (the ``REPRO_CACHE=0`` behaviour).
+    """
+
+    def __init__(
+        self, directory: Path | str | None = None, enabled: bool = True
+    ) -> None:
+        self.directory = (
+            Path(directory) if directory is not None else DEFAULT_CACHE_DIR
+        )
+        self.enabled = enabled
+
+    def key(self, payload: dict) -> str:
+        """Content-address a JSON-serialisable identity payload."""
+        text = json.dumps(
+            {"v": CACHE_VERSION, **payload}, sort_keys=True, default=str
+        )
+        return hashlib.sha1(text.encode()).hexdigest()[:20]
+
+    def _path(self, key: str) -> Path:
+        return self.directory / f"{key}.json"
+
+    def load(self, key: str) -> dict | None:
+        """The stored payload for ``key``, or None on miss.
+
+        A present-but-unreadable entry (truncated file, wrong schema)
+        counts as a miss and is logged at WARNING.
+        """
+        if not self.enabled:
+            return None
+        path = self._path(key)
+        try:
+            text = path.read_text()
+        except FileNotFoundError:
+            return None
+        except OSError as exc:
+            logger.warning("cache entry %s unreadable (%s); treating as miss", path, exc)
+            return None
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as exc:
+            logger.warning("cache entry %s corrupt (%s); treating as miss", path, exc)
+            return None
+        if not isinstance(data, dict):
+            logger.warning("cache entry %s has wrong shape; treating as miss", path)
+            return None
+        return data
+
+    def store(self, key: str, payload: dict) -> None:
+        """Atomically persist ``payload`` under ``key``.
+
+        The payload is serialised to a temporary file in the cache
+        directory and renamed into place, so readers (including other
+        worker processes) only ever observe complete entries.
+        """
+        if not self.enabled:
+            return
+        self.directory.mkdir(parents=True, exist_ok=True)
+        text = json.dumps(payload, indent=1, sort_keys=True)
+        fd, tmp_name = tempfile.mkstemp(
+            prefix=f"{key}.", suffix=".tmp", dir=self.directory
+        )
+        try:
+            with os.fdopen(fd, "w") as handle:
+                handle.write(text)
+            os.replace(tmp_name, self._path(key))
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise

@@ -1,0 +1,257 @@
+"""Scenario execution: registry resolution, caching, environment knobs.
+
+:class:`ExecutionContext` is the single place a scenario becomes a
+simulation: it resolves the configuration name through the registry,
+checks the content-addressed cache, runs the spec, and stores the
+outcome.  One context lives per process — orchestrator workers each
+build their own and share results through the on-disk cache (whose
+writes are atomic, see :mod:`repro.experiments.cache`).
+
+Environment knobs
+-----------------
+``REPRO_SCALE``
+    Scales all workload lengths (e.g. 0.2 for quick iterations).
+``REPRO_BENCHMARKS``
+    Comma-separated subset of the catalog.
+``REPRO_CACHE``
+    Set to ``0`` to disable the on-disk cache.
+``REPRO_WORKERS``
+    Default worker count for the orchestrator.
+"""
+
+from __future__ import annotations
+
+import os
+import traceback
+from pathlib import Path
+
+from repro.errors import ExperimentError
+from repro.experiments.cache import CacheStore
+from repro.experiments.registry import CONFIGURATIONS
+from repro.experiments.results import RunOutcome, RunRecord
+from repro.experiments.scenario import Scenario
+from repro.metrics.summary import RunSummary, summarize
+from repro.sim.engine import SimulationSpec, run_spec
+from repro.workloads.catalog import BENCHMARKS
+
+
+def benchmark_scale() -> float:
+    """The workload length scale from ``REPRO_SCALE`` (default 1.0)."""
+    raw = os.environ.get("REPRO_SCALE", "1.0")
+    try:
+        scale = float(raw)
+    except ValueError:
+        raise ExperimentError(
+            f"malformed REPRO_SCALE {raw!r}: expected a number"
+        ) from None
+    if scale <= 0:
+        raise ExperimentError(f"REPRO_SCALE must be positive, got {raw!r}")
+    return scale
+
+
+def quick_benchmarks(default: list[str] | None = None) -> list[str]:
+    """Benchmark subset from ``REPRO_BENCHMARKS`` (default: all)."""
+    env = os.environ.get("REPRO_BENCHMARKS")
+    if env:
+        names = [n.strip() for n in env.split(",") if n.strip()]
+        if not names:
+            raise ExperimentError(
+                f"malformed REPRO_BENCHMARKS {env!r}: no benchmark names"
+            )
+        unknown = [n for n in names if n not in BENCHMARKS]
+        if unknown:
+            raise ExperimentError(
+                f"unknown benchmarks in REPRO_BENCHMARKS={env!r}: {unknown}"
+            )
+        return names
+    return default if default is not None else list(BENCHMARKS)
+
+
+def cache_enabled() -> bool:
+    """Whether the on-disk cache is enabled (``REPRO_CACHE`` != 0)."""
+    return os.environ.get("REPRO_CACHE", "1") != "0"
+
+
+def default_workers() -> int:
+    """Worker count from ``REPRO_WORKERS`` (default 1: serial)."""
+    raw = os.environ.get("REPRO_WORKERS", "1")
+    try:
+        workers = int(raw)
+    except ValueError:
+        raise ExperimentError(
+            f"malformed REPRO_WORKERS {raw!r}: expected an integer"
+        ) from None
+    return max(1, workers)
+
+
+class ExecutionContext:
+    """Runs scenarios through the registry with caching.
+
+    Parameters
+    ----------
+    cache_dir:
+        Where JSON results live; created on demand.
+    scale:
+        Default workload length scale; defaults to ``REPRO_SCALE``.
+    seed:
+        Default clock phase/jitter seed for scenarios that leave
+        theirs unset.
+    use_cache:
+        Overrides ``REPRO_CACHE``.
+    """
+
+    def __init__(
+        self,
+        cache_dir: Path | str | None = None,
+        scale: float | None = None,
+        seed: int = 1,
+        use_cache: bool | None = None,
+    ) -> None:
+        self.scale = benchmark_scale() if scale is None else scale
+        self.seed = seed
+        enabled = cache_enabled() if use_cache is None else use_cache
+        self.cache = CacheStore(cache_dir, enabled=enabled)
+        self._profiles: dict[tuple[str, float, int], object] = {}
+
+    # --- effective scenario parameters ------------------------------------
+    def effective_scale(self, scenario: Scenario) -> float:
+        """The scenario's scale, or this context's default."""
+        return self.scale if scenario.scale is None else scenario.scale
+
+    def effective_seed(self, scenario: Scenario) -> int:
+        """The scenario's seed, or this context's default."""
+        return self.seed if scenario.seed is None else scenario.seed
+
+    def cache_key(self, scenario: Scenario) -> str:
+        """The content-addressed cache key of one scenario."""
+        return self.cache.key(
+            {
+                "benchmark": scenario.benchmark,
+                "configuration": scenario.configuration,
+                "scale": self.effective_scale(scenario),
+                "seed": self.effective_seed(scenario),
+                "overrides": [list(pair) for pair in scenario.overrides],
+            }
+        )
+
+    # --- execution ---------------------------------------------------------
+    def run(self, scenario: Scenario) -> RunRecord:
+        """Execute one scenario (or load it from the cache).
+
+        The configuration factory receives this context, the benchmark
+        name, and the merged parsed-name/override parameters; it
+        returns either a :class:`~repro.sim.engine.SimulationSpec` to
+        run or an already-computed
+        :class:`~repro.metrics.summary.RunSummary` (multi-run searches
+        such as ``dynamic_*``).
+        """
+        key = self.cache_key(scenario)
+        cached = self.cache.load(key)
+        if cached is not None:
+            try:
+                return RunRecord.from_dict(cached)
+            except (KeyError, TypeError):
+                pass  # wrong shape: recompute below
+        factory, parsed = CONFIGURATIONS.resolve(scenario.configuration)
+        params = {**parsed, **scenario.override_mapping()}
+        produced = factory(
+            self,
+            scenario.benchmark,
+            scale=self.effective_scale(scenario),
+            seed=self.effective_seed(scenario),
+            **params,
+        )
+        if isinstance(produced, SimulationSpec):
+            summary = summarize(run_spec(produced))
+        elif isinstance(produced, RunSummary):
+            summary = produced
+        else:
+            raise ExperimentError(
+                f"configuration {scenario.configuration!r} returned "
+                f"{type(produced).__name__}; expected SimulationSpec or RunSummary"
+            )
+        record = RunRecord(
+            benchmark=scenario.benchmark,
+            configuration=scenario.configuration,
+            summary=summary,
+        )
+        self.cache.store(key, record.to_dict())
+        return record
+
+    def run_isolated(self, scenario: Scenario) -> RunOutcome:
+        """Execute one scenario, capturing any failure as an outcome."""
+        try:
+            return RunOutcome(scenario=scenario, record=self.run(scenario))
+        except Exception:
+            return RunOutcome(scenario=scenario, error=traceback.format_exc())
+
+    def summary(
+        self,
+        benchmark: str,
+        configuration: str,
+        scale: float | None = None,
+        seed: int | None = None,
+    ) -> RunSummary:
+        """Convenience: the summary of ``configuration`` on ``benchmark``.
+
+        Configuration factories use this for auxiliary cached runs
+        (baselines, references); scale/seed default to this context's.
+        """
+        return self.run(
+            Scenario(benchmark, configuration, scale=scale, seed=seed)
+        ).summary
+
+    def profile(
+        self, benchmark: str, scale: float | None = None, seed: int | None = None
+    ):
+        """Profile a benchmark at maximum frequencies (memoised).
+
+        The profile drives the off-line Dynamic schedules; one profiling
+        run per (benchmark, scale, seed) per process.
+        """
+        from repro.control.offline import OfflineProfiler
+
+        scale = self.scale if scale is None else scale
+        seed = self.seed if seed is None else seed
+        key = (benchmark, scale, seed)
+        if key not in self._profiles:
+            profiler = OfflineProfiler()
+            spec = SimulationSpec(
+                benchmark=benchmark,
+                mcd=True,
+                controller=profiler,
+                scale=scale,
+                seed=seed,
+            )
+            run_spec(spec)
+            self._profiles[key] = profiler.profile
+        return self._profiles[key]
+
+
+#: Per-process context reuse, so a pool worker keeps its in-memory
+#: memoisations (off-line profiles) across the scenarios it executes.
+_WORKER_CONTEXTS: dict[tuple, ExecutionContext] = {}
+
+
+def execute_scenario(
+    scenario: Scenario,
+    cache_dir: str | None,
+    use_cache: bool | None,
+    scale: float,
+    seed: int,
+) -> RunOutcome:
+    """Worker entry point: run one scenario in this process's context.
+
+    Module-level (picklable) so :mod:`multiprocessing` pools can map
+    over the run matrix; every failure is captured into the outcome so
+    one bad run never takes the pool down.  Contexts are memoised per
+    (cache_dir, use_cache, scale, seed) so a worker recomputes
+    profiling runs at most once, not once per scenario.
+    """
+    key = (cache_dir, use_cache, scale, seed)
+    ctx = _WORKER_CONTEXTS.get(key)
+    if ctx is None:
+        ctx = _WORKER_CONTEXTS[key] = ExecutionContext(
+            cache_dir=cache_dir, scale=scale, seed=seed, use_cache=use_cache
+        )
+    return ctx.run_isolated(scenario)

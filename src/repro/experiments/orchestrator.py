@@ -1,0 +1,160 @@
+"""Parallel execution of a scenario matrix.
+
+The :class:`Orchestrator` takes a :class:`~repro.experiments.scenario.Suite`
+(or a plain scenario list), fans it out across a
+:mod:`multiprocessing` worker pool, and collects a
+:class:`~repro.experiments.results.ResultSet`.  Properties:
+
+* **Determinism** — simulations are seeded and deterministic, and
+  outcomes are returned in matrix order regardless of completion order,
+  so parallel and serial execution produce identical result sets.
+* **Error isolation** — each run's failure is captured into its
+  outcome (with a traceback); the rest of the matrix completes.
+* **Shared cache** — workers share the content-addressed on-disk store;
+  writes are atomic (:mod:`repro.experiments.cache`), so a re-run hits
+  the same keys whichever process computed them.
+"""
+
+from __future__ import annotations
+
+import logging
+import multiprocessing
+import time
+from pathlib import Path
+from typing import Callable, Iterable, Sequence
+
+from repro.experiments.executor import (
+    ExecutionContext,
+    benchmark_scale,
+    default_workers,
+    execute_scenario,
+)
+from repro.experiments.results import ResultSet, RunOutcome
+from repro.experiments.scenario import Scenario, Suite
+
+logger = logging.getLogger(__name__)
+
+
+def _pool_entry(args: tuple) -> tuple[int, RunOutcome]:
+    """Pool adapter: run one indexed scenario in a worker process."""
+    index, scenario, cache_dir, use_cache, scale, seed = args
+    return index, execute_scenario(scenario, cache_dir, use_cache, scale, seed)
+
+
+class Orchestrator:
+    """Executes scenario matrices, serially or across worker processes.
+
+    Parameters
+    ----------
+    workers:
+        Process count; 1 (or None with ``REPRO_WORKERS`` unset) runs
+        serially in-process.
+    cache_dir:
+        Result cache location shared by all workers.
+    scale:
+        Default workload scale for scenarios that leave theirs unset.
+    seed:
+        Default clock seed.
+    use_cache:
+        Overrides ``REPRO_CACHE``.
+    on_result:
+        Optional callback invoked with each :class:`RunOutcome` as it
+        completes (progress bars, live tables).
+    """
+
+    def __init__(
+        self,
+        workers: int | None = None,
+        cache_dir: Path | str | None = None,
+        scale: float | None = None,
+        seed: int = 1,
+        use_cache: bool | None = None,
+        on_result: Callable[[RunOutcome], None] | None = None,
+    ) -> None:
+        self.workers = default_workers() if workers is None else max(1, workers)
+        self.cache_dir = cache_dir
+        self.scale = benchmark_scale() if scale is None else scale
+        self.seed = seed
+        self.use_cache = use_cache
+        self.on_result = on_result
+
+    def _context(self) -> ExecutionContext:
+        return ExecutionContext(
+            cache_dir=self.cache_dir,
+            scale=self.scale,
+            seed=self.seed,
+            use_cache=self.use_cache,
+        )
+
+    def run(self, matrix: Suite | Sequence[Scenario]) -> ResultSet:
+        """Execute every scenario; returns outcomes in matrix order."""
+        scenarios = list(matrix.expand() if isinstance(matrix, Suite) else matrix)
+        total = len(scenarios)
+        label = matrix.name if isinstance(matrix, Suite) else "matrix"
+        logger.info(
+            "%s: %d scenario(s) across %d worker(s)", label, total, self.workers
+        )
+        started = time.perf_counter()
+        if self.workers <= 1 or total <= 1:
+            outcomes = self._run_serial(scenarios)
+        else:
+            outcomes = self._run_parallel(scenarios)
+        elapsed = time.perf_counter() - started
+        failures = sum(1 for o in outcomes if not o.ok)
+        logger.info(
+            "%s: %d/%d completed (%d failed) in %.1fs",
+            label, total - failures, total, failures, elapsed,
+        )
+        return ResultSet(outcomes)
+
+    # --- execution strategies ---------------------------------------------
+    def _announce(self, outcome: RunOutcome, index: int, total: int) -> None:
+        status = "ok" if outcome.ok else "FAILED"
+        logger.info("[%d/%d] %s %s", index + 1, total, outcome.scenario.run_id, status)
+        if not outcome.ok:
+            logger.warning(
+                "run %s failed:\n%s", outcome.scenario.run_id, outcome.error
+            )
+        if self.on_result is not None:
+            self.on_result(outcome)
+
+    def _run_serial(self, scenarios: Sequence[Scenario]) -> list[RunOutcome]:
+        ctx = self._context()
+        outcomes = []
+        for i, scenario in enumerate(scenarios):
+            outcome = ctx.run_isolated(scenario)
+            self._announce(outcome, i, len(scenarios))
+            outcomes.append(outcome)
+        return outcomes
+
+    def _run_parallel(self, scenarios: Sequence[Scenario]) -> list[RunOutcome]:
+        cache_dir = str(self.cache_dir) if self.cache_dir is not None else None
+        jobs: Iterable[tuple] = [
+            (i, s, cache_dir, self.use_cache, self.scale, self.seed)
+            for i, s in enumerate(scenarios)
+        ]
+        # Fork (where available) keeps dynamically registered
+        # configurations visible to the workers; spawn would re-import
+        # only the built-ins.
+        try:
+            mp_context = multiprocessing.get_context("fork")
+        except ValueError:  # pragma: no cover - non-POSIX fallback
+            mp_context = multiprocessing.get_context()
+        ordered: list[RunOutcome | None] = [None] * len(scenarios)
+        done = 0
+        with mp_context.Pool(processes=min(self.workers, len(scenarios))) as pool:
+            for index, outcome in pool.imap_unordered(_pool_entry, jobs):
+                ordered[index] = outcome
+                self._announce(outcome, done, len(scenarios))
+                done += 1
+        assert all(o is not None for o in ordered)
+        return ordered  # type: ignore[return-value]
+
+
+def run_suite(
+    suite: Suite | Sequence[Scenario],
+    workers: int | None = None,
+    **orchestrator_kwargs,
+) -> ResultSet:
+    """One-call convenience: orchestrate a suite and return its results."""
+    return Orchestrator(workers=workers, **orchestrator_kwargs).run(suite)

@@ -1,0 +1,198 @@
+"""Run records, outcomes, and the queryable :class:`ResultSet`.
+
+The orchestrator returns a :class:`ResultSet` — an ordered collection
+of per-scenario outcomes with filter/group/aggregate queries — so
+reporting, benches and the CLI consume one structured object instead of
+hand-rolled nested dicts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterator
+
+from repro.errors import ExperimentError
+from repro.metrics.aggregate import AggregateResult, aggregate
+from repro.metrics.summary import Comparison, RunSummary, compare
+from repro.experiments.scenario import Scenario
+
+
+@dataclass(frozen=True)
+class RunRecord:
+    """A completed run: its identity and scalar outcome."""
+
+    benchmark: str
+    configuration: str
+    summary: RunSummary
+
+    def to_dict(self) -> dict:
+        """Plain-dict form for the JSON cache."""
+        return {
+            "benchmark": self.benchmark,
+            "configuration": self.configuration,
+            "summary": self.summary.to_dict(),
+        }
+
+    @staticmethod
+    def from_dict(data: dict) -> "RunRecord":
+        """Inverse of :meth:`to_dict`."""
+        return RunRecord(
+            benchmark=data["benchmark"],
+            configuration=data["configuration"],
+            summary=RunSummary.from_dict(data["summary"]),
+        )
+
+
+@dataclass(frozen=True)
+class RunOutcome:
+    """One scenario's result: a record on success, an error otherwise."""
+
+    scenario: Scenario
+    record: RunRecord | None = None
+    error: str | None = None
+
+    @property
+    def ok(self) -> bool:
+        """Whether the run completed."""
+        return self.record is not None
+
+    def to_dict(self) -> dict:
+        """Plain-dict form for JSON artifacts."""
+        return {
+            "scenario": self.scenario.to_dict(),
+            "record": self.record.to_dict() if self.record else None,
+            "error": self.error,
+        }
+
+    @staticmethod
+    def from_dict(data: dict) -> "RunOutcome":
+        """Inverse of :meth:`to_dict`."""
+        record = data.get("record")
+        return RunOutcome(
+            scenario=Scenario.from_dict(data["scenario"]),
+            record=RunRecord.from_dict(record) if record else None,
+            error=data.get("error"),
+        )
+
+
+class ResultSet:
+    """An ordered, queryable collection of run outcomes."""
+
+    def __init__(self, outcomes: list[RunOutcome]) -> None:
+        self.outcomes = list(outcomes)
+
+    # --- basic access -----------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.outcomes)
+
+    def __iter__(self) -> Iterator[RunOutcome]:
+        return iter(self.outcomes)
+
+    @property
+    def records(self) -> list[RunRecord]:
+        """Records of every successful run, in matrix order."""
+        return [o.record for o in self.outcomes if o.record is not None]
+
+    @property
+    def errors(self) -> list[RunOutcome]:
+        """Outcomes that failed (error isolated per run)."""
+        return [o for o in self.outcomes if not o.ok]
+
+    @property
+    def benchmarks(self) -> list[str]:
+        """Distinct benchmarks, in first-seen order."""
+        return list(dict.fromkeys(o.scenario.benchmark for o in self.outcomes))
+
+    @property
+    def configurations(self) -> list[str]:
+        """Distinct configuration names, in first-seen order."""
+        return list(dict.fromkeys(o.scenario.configuration for o in self.outcomes))
+
+    # --- queries ----------------------------------------------------------
+    def filter(
+        self,
+        benchmark: str | None = None,
+        configuration: str | None = None,
+        seed: int | None = None,
+        predicate: Callable[[RunOutcome], bool] | None = None,
+    ) -> "ResultSet":
+        """A sub-set matching every given criterion."""
+        kept = []
+        for outcome in self.outcomes:
+            s = outcome.scenario
+            if benchmark is not None and s.benchmark != benchmark:
+                continue
+            if configuration is not None and s.configuration != configuration:
+                continue
+            if seed is not None and s.seed != seed:
+                continue
+            if predicate is not None and not predicate(outcome):
+                continue
+            kept.append(outcome)
+        return ResultSet(kept)
+
+    def group_by(self, axis: str) -> dict[object, "ResultSet"]:
+        """Partition by a scenario field (``"benchmark"``, ``"configuration"``, ``"seed"``)."""
+        groups: dict[object, list[RunOutcome]] = {}
+        for outcome in self.outcomes:
+            key = getattr(outcome.scenario, axis)
+            groups.setdefault(key, []).append(outcome)
+        return {key: ResultSet(members) for key, members in groups.items()}
+
+    def get(self, benchmark: str, configuration: str) -> RunRecord:
+        """The unique successful record for one (benchmark, configuration)."""
+        matches = self.filter(benchmark=benchmark, configuration=configuration).records
+        if not matches:
+            raise ExperimentError(
+                f"no completed run for {benchmark}:{configuration}"
+            )
+        if len(matches) > 1:
+            raise ExperimentError(
+                f"{len(matches)} runs match {benchmark}:{configuration}; "
+                "filter by seed/overrides first"
+            )
+        return matches[0]
+
+    def summaries(self, configuration: str) -> dict[str, RunSummary]:
+        """benchmark -> summary for one configuration's successful runs."""
+        return {
+            r.benchmark: r.summary
+            for r in self.filter(configuration=configuration).records
+        }
+
+    def compare(
+        self, configuration: str, reference: str
+    ) -> dict[str, Comparison]:
+        """Per-benchmark comparison of one configuration against another.
+
+        Only benchmarks where both runs completed are included.
+        """
+        runs = self.summaries(configuration)
+        refs = self.summaries(reference)
+        return {
+            b: compare(runs[b], refs[b]) for b in runs if b in refs
+        }
+
+    def aggregate(self, configuration: str, reference: str) -> AggregateResult:
+        """Suite-average statistics of a configuration vs a reference."""
+        comparisons = self.compare(configuration, reference)
+        if not comparisons:
+            raise ExperimentError(
+                f"no common completed benchmarks between {configuration!r} "
+                f"and {reference!r}"
+            )
+        return aggregate(comparisons)
+
+    # --- serialisation ----------------------------------------------------
+    def to_dict(self) -> dict:
+        """Plain-dict form for JSON artifacts."""
+        return {"outcomes": [o.to_dict() for o in self.outcomes]}
+
+    @staticmethod
+    def from_dict(data: dict) -> "ResultSet":
+        """Inverse of :meth:`to_dict`."""
+        return ResultSet([RunOutcome.from_dict(o) for o in data["outcomes"]])
+
+    def merged(self, other: "ResultSet") -> "ResultSet":
+        """A new set with ``other``'s outcomes appended."""
+        return ResultSet(self.outcomes + other.outcomes)

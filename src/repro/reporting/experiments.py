@@ -99,6 +99,32 @@ def _figure4_section(lines: list[str]) -> None:
     )
 
 
+def _sweep_section(lines: list[str]) -> None:
+    """Summarise the last orchestrator sweep (``repro sweep --json``)."""
+    data = _load("sweep")
+    lines.append("\n## Custom sweeps (scenario orchestrator)\n")
+    if data is None:
+        lines.append(
+            "*(run `python -m repro sweep --json results/sweep.json` to "
+            "record a custom matrix here)*\n"
+        )
+        return
+    from repro.experiments.results import ResultSet
+
+    results = ResultSet.from_dict(data)
+    failed = len(results.errors)
+    lines.append(
+        f"{len(results)} scenario(s) over {len(results.benchmarks)} "
+        f"benchmark(s) x {len(results.configurations)} configuration(s)"
+        + (f" — {failed} failed" if failed else "")
+        + ". Data: `results/sweep.json`.\n"
+    )
+    for configuration, subset in results.group_by("configuration").items():
+        ok = len(subset.records)
+        lines.append(f"- `{configuration}`: {ok}/{len(subset)} runs completed")
+    lines.append("")
+
+
 def _series_section(lines: list[str], name: str, title: str, note: str) -> None:
     data = _load(name)
     lines.append(f"\n## {title}\n")
@@ -231,6 +257,8 @@ def build() -> str:
             lines.append("")
         else:
             lines.append(f"*(run `pytest benchmarks/bench_{name}_*.py` first)*\n")
+
+    _sweep_section(lines)
 
     data = _load("ablation")
     lines.append("\n## Ablations\n")

@@ -1,8 +1,11 @@
-"""Fixed-width text tables for bench output."""
+"""Fixed-width text tables for bench and CLI output."""
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import TYPE_CHECKING, Sequence
+
+if TYPE_CHECKING:  # annotation only; reporting stays import-light
+    from repro.experiments.results import ResultSet
 
 
 def format_table(
@@ -50,3 +53,41 @@ def format_table(
     lines.append("  ".join("-" * w for w in widths))
     lines.extend(fmt_row(row) for row in cells)
     return "\n".join(lines)
+
+
+def resultset_table(results: "ResultSet", title: str | None = None) -> str:
+    """Render an orchestrator :class:`ResultSet` as a per-run table.
+
+    One row per scenario, in matrix order; failed runs show ``FAILED``
+    in place of their metrics.
+    """
+    rows = []
+    for outcome in results:
+        scenario = outcome.scenario
+        if outcome.record is not None:
+            s = outcome.record.summary
+            rows.append(
+                (
+                    scenario.benchmark,
+                    scenario.configuration,
+                    scenario.seed if scenario.seed is not None else "-",
+                    f"{s.wall_time_ns:,.0f}",
+                    f"{s.energy:,.0f}",
+                    f"{s.cpi:.3f}",
+                    f"{s.epi:.3f}",
+                )
+            )
+        else:
+            rows.append(
+                (
+                    scenario.benchmark,
+                    scenario.configuration,
+                    scenario.seed if scenario.seed is not None else "-",
+                    "FAILED", "-", "-", "-",
+                )
+            )
+    return format_table(
+        ["Benchmark", "Configuration", "Seed", "Wall time (ns)", "Energy", "CPI", "EPI"],
+        rows,
+        title=title,
+    )

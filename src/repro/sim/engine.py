@@ -123,6 +123,9 @@ def run_spec(spec: SimulationSpec) -> CoreResult:
         options=options,
     )
     if spec.warmup:
-        warm_trace = bench.build_trace(scale=spec.scale)
-        core.warm_up(warm_trace, limit=warm_trace.total_instructions)
+        # The trace is a deterministic generator (each blocks() call
+        # replays it from the seed), so the timed trace doubles as the
+        # warm-up stream — building a second identical copy would only
+        # duplicate the phase bookkeeping.
+        core.warm_up(trace, limit=trace.total_instructions)
     return core.run()

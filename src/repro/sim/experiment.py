@@ -1,22 +1,16 @@
-"""Cached experiment orchestration.
+"""Backward-compatible facade over the scenario API.
 
-Table 6 and Figures 4-7 need hundreds of simulation runs; this module
-names each run, executes it through :mod:`repro.sim.engine`, and caches
-scalar results as JSON under ``results/cache/`` so benches re-run
-instantly once computed.
+:class:`ExperimentRunner` keeps the seed repository's method-per-
+configuration interface (``sync_baseline``, ``attack_decay``,
+``dynamic``, ``global_at``, ...) but every run now flows through the
+registry-driven scenario layer in :mod:`repro.experiments`: names are
+resolved by the configuration registry, results come from the shared
+content-addressed cache, and the same keys are hit whether a run was
+computed here, by a parallel orchestrator worker, or by the CLI.
 
-Configurations (the paper's vocabulary):
-
-* ``sync`` — fully synchronous processor, everything at 1 GHz;
-* ``mcd_base`` — baseline MCD processor, all domains at 1 GHz
-  (reference for Table 6);
-* ``attack_decay`` — MCD + the on-line controller;
-* ``dynamic_{pct}`` — MCD + the off-line schedule built from a cached
-  profiling run (Dynamic-1 %, Dynamic-5 %);
-* ``global@{mhz}`` — fully synchronous processor at a reduced global
-  frequency, with :meth:`ExperimentRunner.global_matched` searching the
-  frequency whose run time matches a target degradation (the
-  ``Global(...)`` rows).
+New code should prefer :class:`repro.experiments.Suite` +
+:class:`repro.experiments.Orchestrator`; this module exists so the
+bench harness and downstream scripts keep working unchanged.
 
 Environment knobs
 -----------------
@@ -30,73 +24,36 @@ Environment knobs
 
 from __future__ import annotations
 
-import hashlib
-import json
-import os
-from dataclasses import dataclass
 from pathlib import Path
 
 from repro.config.algorithm import AttackDecayParams
 from repro.config.mcd import MCDConfig
-from repro.control.attack_decay import AttackDecayController
-from repro.control.offline import OfflineController, OfflineProfiler, build_offline_schedule
 from repro.dvfs.scale import FrequencyScale
 from repro.errors import ExperimentError
-from repro.metrics.summary import Comparison, RunSummary, compare, summarize
-from repro.sim.engine import SimulationSpec, run_spec
-from repro.workloads.catalog import BENCHMARKS
+from repro.experiments.builtins import attack_decay_scenario
+from repro.experiments.cache import CACHE_VERSION, DEFAULT_CACHE_DIR
+from repro.experiments.executor import (
+    ExecutionContext,
+    benchmark_scale,
+    quick_benchmarks,
+)
+from repro.experiments.results import RunRecord
+from repro.experiments.scenario import Scenario
+from repro.metrics.summary import Comparison, compare
 
-#: Bump when a change invalidates previously cached results.
-CACHE_VERSION = 3
+__all__ = [
+    "CACHE_VERSION",
+    "ExperimentRunner",
+    "RunRecord",
+    "benchmark_scale",
+    "quick_benchmarks",
+]
 
-_DEFAULT_CACHE_DIR = Path(__file__).resolve().parents[3] / "results" / "cache"
-
-
-def benchmark_scale() -> float:
-    """The workload length scale from ``REPRO_SCALE`` (default 1.0)."""
-    return float(os.environ.get("REPRO_SCALE", "1.0"))
-
-
-def quick_benchmarks(default: list[str] | None = None) -> list[str]:
-    """Benchmark subset from ``REPRO_BENCHMARKS`` (default: all)."""
-    env = os.environ.get("REPRO_BENCHMARKS")
-    if env:
-        names = [n.strip() for n in env.split(",") if n.strip()]
-        unknown = [n for n in names if n not in BENCHMARKS]
-        if unknown:
-            raise ExperimentError(f"unknown benchmarks in REPRO_BENCHMARKS: {unknown}")
-        return names
-    return default if default is not None else list(BENCHMARKS)
-
-
-@dataclass(frozen=True)
-class RunRecord:
-    """A cached run: its identity and scalar outcome."""
-
-    benchmark: str
-    configuration: str
-    summary: RunSummary
-
-    def to_dict(self) -> dict:
-        """Plain-dict form for the JSON cache."""
-        return {
-            "benchmark": self.benchmark,
-            "configuration": self.configuration,
-            "summary": self.summary.to_dict(),
-        }
-
-    @staticmethod
-    def from_dict(data: dict) -> "RunRecord":
-        """Inverse of :meth:`to_dict`."""
-        return RunRecord(
-            benchmark=data["benchmark"],
-            configuration=data["configuration"],
-            summary=RunSummary.from_dict(data["summary"]),
-        )
+_DEFAULT_CACHE_DIR = DEFAULT_CACHE_DIR
 
 
 class ExperimentRunner:
-    """Runs and caches the paper's configurations.
+    """Runs and caches the paper's configurations (facade).
 
     Parameters
     ----------
@@ -117,74 +74,48 @@ class ExperimentRunner:
         seed: int = 1,
         use_cache: bool | None = None,
     ) -> None:
-        self.cache_dir = Path(cache_dir) if cache_dir is not None else _DEFAULT_CACHE_DIR
-        self.scale = benchmark_scale() if scale is None else scale
-        self.seed = seed
-        if use_cache is None:
-            use_cache = os.environ.get("REPRO_CACHE", "1") != "0"
-        self.use_cache = use_cache
-        self._profiles: dict[str, object] = {}
-
-    # --- cache -------------------------------------------------------------
-    def _key(self, benchmark: str, configuration: str) -> str:
-        payload = json.dumps(
-            {
-                "v": CACHE_VERSION,
-                "benchmark": benchmark,
-                "configuration": configuration,
-                "scale": self.scale,
-                "seed": self.seed,
-            },
-            sort_keys=True,
+        self._ctx = ExecutionContext(
+            cache_dir=cache_dir, scale=scale, seed=seed, use_cache=use_cache
         )
-        return hashlib.sha1(payload.encode()).hexdigest()[:20]
 
-    def _load(self, key: str) -> RunRecord | None:
-        if not self.use_cache:
-            return None
-        path = self.cache_dir / f"{key}.json"
-        if not path.exists():
-            return None
-        try:
-            return RunRecord.from_dict(json.loads(path.read_text()))
-        except (json.JSONDecodeError, KeyError, TypeError):
-            return None
+    # --- context passthroughs ---------------------------------------------
+    @property
+    def context(self) -> ExecutionContext:
+        """The underlying scenario execution context."""
+        return self._ctx
 
-    def _store(self, key: str, record: RunRecord) -> None:
-        if not self.use_cache:
-            return
-        self.cache_dir.mkdir(parents=True, exist_ok=True)
-        path = self.cache_dir / f"{key}.json"
-        path.write_text(json.dumps(record.to_dict(), indent=1))
+    @property
+    def cache_dir(self) -> Path:
+        """Result cache location."""
+        return self._ctx.cache.directory
 
-    def _run_cached(self, configuration: str, spec: SimulationSpec) -> RunRecord:
-        key = self._key(spec.benchmark, configuration)
-        cached = self._load(key)
-        if cached is not None:
-            return cached
-        result = run_spec(spec)
-        record = RunRecord(
-            benchmark=spec.benchmark,
-            configuration=configuration,
-            summary=summarize(result),
-        )
-        self._store(key, record)
-        return record
+    @property
+    def scale(self) -> float:
+        """Workload length scale shared by all runs."""
+        return self._ctx.scale
+
+    @property
+    def seed(self) -> int:
+        """Clock phase/jitter seed shared by all runs."""
+        return self._ctx.seed
+
+    @property
+    def use_cache(self) -> bool:
+        """Whether the on-disk cache is consulted."""
+        return self._ctx.cache.enabled
+
+    def run_scenario(self, scenario: Scenario) -> RunRecord:
+        """Execute any registry scenario through this runner's cache."""
+        return self._ctx.run(scenario)
 
     # --- configurations ------------------------------------------------------
     def sync_baseline(self, benchmark: str) -> RunRecord:
         """Fully synchronous processor at maximum frequency."""
-        spec = SimulationSpec(
-            benchmark=benchmark, mcd=False, scale=self.scale, seed=self.seed
-        )
-        return self._run_cached("sync", spec)
+        return self._ctx.run(Scenario(benchmark, "sync"))
 
     def mcd_baseline(self, benchmark: str) -> RunRecord:
         """Baseline MCD processor (all domains at maximum)."""
-        spec = SimulationSpec(
-            benchmark=benchmark, mcd=True, scale=self.scale, seed=self.seed
-        )
-        return self._run_cached("mcd_base", spec)
+        return self._ctx.run(Scenario(benchmark, "mcd_base"))
 
     def attack_decay(
         self,
@@ -193,102 +124,29 @@ class ExperimentRunner:
         literal_listing: bool = False,
     ) -> RunRecord:
         """MCD processor under the Attack/Decay controller."""
-        params = params if params is not None else AttackDecayParams()
-        name = f"attack_decay[{params.legend()}]"
-        if literal_listing:
-            name += "[literal]"
-        controller = AttackDecayController(params, literal_listing=literal_listing)
-        spec = SimulationSpec(
-            benchmark=benchmark,
-            mcd=True,
-            controller=controller,
-            scale=self.scale,
-            seed=self.seed,
+        return self._ctx.run(
+            attack_decay_scenario(benchmark, params, literal_listing)
         )
-        return self._run_cached(name, spec)
-
-    def _profile(self, benchmark: str):
-        """Profile a benchmark at maximum frequencies (memoised)."""
-        if benchmark not in self._profiles:
-            profiler = OfflineProfiler()
-            spec = SimulationSpec(
-                benchmark=benchmark,
-                mcd=True,
-                controller=profiler,
-                scale=self.scale,
-                seed=self.seed,
-            )
-            run_spec(spec)
-            self._profiles[benchmark] = profiler.profile
-        return self._profiles[benchmark]
 
     def dynamic(
         self, benchmark: str, target_pct: float, iterations: int = 3
     ) -> RunRecord:
-        """The off-line algorithm at a degradation target (1 % or 5 %).
-
-        Profiles the benchmark at maximum frequencies, builds the
-        demand-based per-interval schedule, and iterates the schedule's
-        aggressiveness against *measured* degradation (relative to the
-        baseline MCD processor) — the off-line algorithm's whole point
-        is that it may re-analyse the complete run until its dilation
-        budget is met.
-        """
-        name = f"dynamic_{target_pct:g}"
-        key = self._key(benchmark, name)
-        cached = self._load(key)
-        if cached is not None:
-            return cached
-        profile = self._profile(benchmark)
-        base = self.mcd_baseline(benchmark).summary
-        target = target_pct / 100.0
-        lam = 1.0
-        best: RunRecord | None = None
-        best_err = float("inf")
-        for _ in range(max(1, iterations)):
-            schedule = build_offline_schedule(
-                profile, MCDConfig(), target_pct, aggressiveness=lam
-            )
-            spec = SimulationSpec(
-                benchmark=benchmark,
-                mcd=True,
-                controller=OfflineController(schedule),
-                scale=self.scale,
-                seed=self.seed,
-            )
-            summary = summarize(run_spec(spec))
-            deg = summary.wall_time_ns / base.wall_time_ns - 1.0
-            err = abs(deg - target)
-            if err < best_err:
-                best, best_err = RunRecord(benchmark, name, summary), err
-            if err <= 0.3 * target + 0.002:
-                break
-            if deg <= 0.0:
-                lam = min(lam * 1.8, 3.0)
-            else:
-                lam = min(3.0, max(0.1, lam * (target / deg) ** 0.7))
-        assert best is not None
-        self._store(key, best)
-        return best
+        """The off-line algorithm at a degradation target (1 % or 5 %)."""
+        overrides = {} if iterations == 3 else {"iterations": iterations}
+        return self._ctx.run(
+            Scenario(benchmark, f"dynamic_{target_pct:g}", overrides=overrides)
+        )
 
     def global_at(self, benchmark: str, frequency_mhz: float) -> RunRecord:
         """Fully synchronous processor at one global frequency.
 
-        Memory latency tracks the global clock (constant in processor
-        cycles): the paper's global-DVFS behaviour, see
-        :class:`~repro.sim.engine.SimulationSpec`.
+        The frequency is quantised to the regulator's scale; memory
+        latency tracks the global clock (see
+        :class:`~repro.sim.engine.SimulationSpec`).
         """
         scale = FrequencyScale(MCDConfig())
         mhz = scale.quantize(frequency_mhz)
-        spec = SimulationSpec(
-            benchmark=benchmark,
-            mcd=False,
-            global_frequency_mhz=mhz,
-            memory_tracks_global=True,
-            scale=self.scale,
-            seed=self.seed,
-        )
-        return self._run_cached(f"global@{mhz:.3f}", spec)
+        return self._ctx.run(Scenario(benchmark, f"global@{mhz:.3f}"))
 
     def global_matched(
         self,

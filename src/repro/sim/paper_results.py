@@ -1,8 +1,12 @@
 """High-level drivers that assemble the paper's headline artifacts.
 
-These functions orchestrate the cached :class:`ExperimentRunner` runs
-behind Table 6 and Figure 4 so the bench harness, the examples and the
-tests all share one implementation (and one results cache).
+These functions expand Table 6 / Figure 4's run matrix through the
+scenario registry, execute it with the parallel
+:class:`~repro.experiments.orchestrator.Orchestrator` (worker count
+from ``REPRO_WORKERS``, serial by default), and derive every comparison
+from the returned :class:`~repro.experiments.results.ResultSet` — so
+the bench harness, the examples and the tests all share one
+implementation and one results cache.
 """
 
 from __future__ import annotations
@@ -10,9 +14,15 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.config.algorithm import AttackDecayParams, SCALED_OPERATING_POINT
+from repro.errors import ExperimentError
+from repro.experiments.builtins import attack_decay_scenario
+from repro.experiments.executor import quick_benchmarks
+from repro.experiments.orchestrator import Orchestrator
+from repro.experiments.results import ResultSet
+from repro.experiments.scenario import Scenario
 from repro.metrics.aggregate import AggregateResult, aggregate
 from repro.metrics.summary import Comparison
-from repro.sim.experiment import ExperimentRunner, quick_benchmarks
+from repro.sim.experiment import ExperimentRunner
 
 #: Algorithms reported in Table 6 / Figure 4, in paper order.
 TABLE6_ALGORITHMS = ("attack_decay", "dynamic_1", "dynamic_5")
@@ -76,32 +86,72 @@ class PaperResults:
         return rows
 
 
+def paper_suite_scenarios(
+    benchmarks: list[str], params: AttackDecayParams = SCALED_OPERATING_POINT
+) -> tuple[list[Scenario], dict[str, str]]:
+    """The Table 6 / Figure 4 base matrix and its algorithm->name map.
+
+    Returns the scenario list (baselines plus the three algorithms on
+    every benchmark) and the mapping from the paper's algorithm labels
+    to the registry configuration names actually run.
+    """
+    sample = attack_decay_scenario("_", params)
+    names = {
+        "sync": "sync",
+        "mcd_base": "mcd_base",
+        "attack_decay": sample.configuration,
+        "dynamic_1": "dynamic_1",
+        "dynamic_5": "dynamic_5",
+    }
+    scenarios = []
+    for benchmark in benchmarks:
+        scenarios.append(Scenario(benchmark, "sync"))
+        scenarios.append(Scenario(benchmark, "mcd_base"))
+        scenarios.append(attack_decay_scenario(benchmark, params))
+        scenarios.append(Scenario(benchmark, "dynamic_1"))
+        scenarios.append(Scenario(benchmark, "dynamic_5"))
+    return scenarios, names
+
+
 def compute_paper_results(
     runner: ExperimentRunner | None = None,
     benchmarks: list[str] | None = None,
     params: AttackDecayParams = SCALED_OPERATING_POINT,
     include_globals: bool = True,
+    workers: int | None = None,
 ) -> PaperResults:
-    """Run (or load from cache) everything behind Table 6 and Figure 4."""
+    """Run (or load from cache) everything behind Table 6 and Figure 4.
+
+    ``workers`` fans the base matrix out across processes (default: the
+    ``REPRO_WORKERS`` environment knob, serial when unset); the matched
+    ``Global(...)`` searches are sequential bisections and reuse the
+    same cache through the runner facade.
+    """
     runner = runner if runner is not None else ExperimentRunner()
     benchmarks = benchmarks if benchmarks is not None else quick_benchmarks()
     results = PaperResults(benchmarks=list(benchmarks))
 
-    records = {
-        "attack_decay": {b: runner.attack_decay(b, params) for b in benchmarks},
-        "dynamic_1": {b: runner.dynamic(b, 1.0) for b in benchmarks},
-        "dynamic_5": {b: runner.dynamic(b, 5.0) for b in benchmarks},
-    }
-    for algorithm, per_bench in records.items():
-        results.vs_mcd[algorithm] = {
-            b: runner.compare_to_mcd_base(r) for b, r in per_bench.items()
-        }
-        results.vs_sync[algorithm] = {
-            b: runner.compare_to_sync(r) for b, r in per_bench.items()
-        }
-    results.vs_sync["mcd_base"] = {
-        b: runner.compare_to_sync(runner.mcd_baseline(b)) for b in benchmarks
-    }
+    scenarios, names = paper_suite_scenarios(list(benchmarks), params)
+    orchestrator = Orchestrator(
+        workers=workers,
+        cache_dir=runner.cache_dir,
+        scale=runner.scale,
+        seed=runner.seed,
+        use_cache=runner.use_cache,
+    )
+    result_set: ResultSet = orchestrator.run(scenarios)
+    if result_set.errors:
+        first = result_set.errors[0]
+        raise ExperimentError(
+            f"{len(result_set.errors)} run(s) failed; first "
+            f"({first.scenario.run_id}):\n{first.error}"
+        )
+
+    for algorithm in TABLE6_ALGORITHMS:
+        configuration = names[algorithm]
+        results.vs_mcd[algorithm] = result_set.compare(configuration, "mcd_base")
+        results.vs_sync[algorithm] = result_set.compare(configuration, "sync")
+    results.vs_sync["mcd_base"] = result_set.compare("mcd_base", "sync")
 
     if include_globals:
         for algorithm in TABLE6_ALGORITHMS:

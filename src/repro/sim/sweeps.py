@@ -10,12 +10,14 @@ power/performance ratio against the swept value.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence
+from typing import TYPE_CHECKING, Sequence
 
 from repro.config.algorithm import ATTACK_DECAY_PARAMETER_RANGES, AttackDecayParams
 from repro.errors import ExperimentError
 from repro.metrics.aggregate import AggregateResult, aggregate
-from repro.sim.experiment import ExperimentRunner
+
+if TYPE_CHECKING:  # runner is only an annotation; avoids an import cycle
+    from repro.sim.experiment import ExperimentRunner
 
 #: Figure legends: the fixed operating points used for each sweep.
 FIGURE6_BASE = {
