@@ -1,7 +1,13 @@
-"""``python -m repro`` dispatches to the CLI."""
+"""``python -m repro`` dispatches to the CLI.
+
+The guard matters: tools that import every module (doctest collection,
+``pytest --doctest-modules``) must be able to import this one without
+running the CLI.
+"""
 
 import sys
 
 from repro.cli import main
 
-sys.exit(main())
+if __name__ == "__main__":
+    sys.exit(main())

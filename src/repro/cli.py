@@ -40,6 +40,7 @@ from repro.metrics.aggregate import aggregate
 from repro.reporting.tables import format_table, resultset_table
 from repro.sim.engine import SimulationSpec, run_spec
 from repro.sim.experiment import ExperimentRunner, quick_benchmarks
+from repro.version import PAPER_VENUE, __version__
 from repro.workloads.catalog import BENCHMARKS, get_benchmark
 
 
@@ -232,7 +233,14 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro",
         description="MCD dynamic frequency/voltage control reproduction",
     )
-    sub = parser.add_subparsers(dest="command", required=True)
+    parser.add_argument(
+        "--version",
+        action="version",
+        version=f"repro {__version__} ({PAPER_VENUE} reproduction)",
+    )
+    # required=False so a bare ``python -m repro`` prints usage and
+    # exits cleanly instead of erroring (main() handles the None case).
+    sub = parser.add_subparsers(dest="command")
 
     sub.add_parser("catalog", help="list the benchmark catalog").set_defaults(
         func=_cmd_catalog
@@ -312,8 +320,16 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: Sequence[str] | None = None) -> int:
-    """CLI entry point."""
-    args = build_parser().parse_args(argv)
+    """CLI entry point.
+
+    Invoked with no subcommand, prints usage and returns 2 (the
+    argparse convention) rather than dying with an error.
+    """
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.command is None:
+        parser.print_help()
+        return 2
     return args.func(args)
 
 

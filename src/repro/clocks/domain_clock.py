@@ -68,6 +68,16 @@ class DomainClock:
         """Current frequency implied by the period."""
         return 1e3 / self.period_ns
 
+    @property
+    def jitter(self) -> JitterModel:
+        """This clock's jitter source.
+
+        The core's batched fast path draws samples from it directly
+        (one per inlined edge, exactly as :meth:`advance` would), so
+        both simulation paths consume the same seeded stream.
+        """
+        return self._jitter
+
     def set_frequency(self, frequency_mhz: float) -> None:
         """Change the frequency; effective from the next scheduled edge."""
         if frequency_mhz <= 0:

@@ -18,8 +18,13 @@ import os
 import tempfile
 from pathlib import Path
 
-#: Bump when a change invalidates previously cached results.
+#: Bump when a change invalidates previously cached results.  The
+#: compiled-trace store joins this version into its own keys (see
+#: :func:`repro.sim.engine.compiled_trace_for`), so bumping it also
+#: invalidates every compiled trace.
 #: v4: registry-driven scenario API — keys now include overrides.
+#: (The compiled-trace fast path introduced alongside CACHE_VERSION 4
+#: is byte-identical to the generator path, so it does not bump.)
 CACHE_VERSION = 4
 
 #: Default cache location, shared by every runner and orchestrator.

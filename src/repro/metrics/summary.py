@@ -69,7 +69,18 @@ class Comparison:
 
 
 def compare(run: RunSummary, reference: RunSummary) -> Comparison:
-    """Compare ``run`` against ``reference`` (same workload)."""
+    """Compare ``run`` against ``reference`` (same workload).
+
+    >>> base = RunSummary(instructions=1000, wall_time_ns=1000.0,
+    ...                   energy=2000.0, cpi=1.0, epi=2.0, power=2.0,
+    ...                   edp=2_000_000.0)
+    >>> slower = RunSummary(instructions=1000, wall_time_ns=1100.0,
+    ...                     energy=1500.0, cpi=1.1, epi=1.5,
+    ...                     power=1500.0 / 1100.0, edp=1_650_000.0)
+    >>> c = compare(slower, base)
+    >>> round(c.performance_degradation, 3), round(c.energy_savings, 3)
+    (0.1, 0.25)
+    """
     if reference.wall_time_ns <= 0 or reference.energy <= 0:
         raise SimulationError("reference run has no time/energy")
     if run.instructions != reference.instructions:

@@ -4,18 +4,34 @@
 benchmark, processor/MCD configuration, clocking mode, controller — and
 :func:`run_spec` executes it.  Specs are deterministic: the same spec
 always produces the same :class:`~repro.uarch.core.CoreResult`.
+
+By default a spec runs over the benchmark's *compiled* trace
+(:mod:`repro.uarch.compiled_trace`): the workload is generated once,
+content-hash-cached on disk next to the experiment result cache, and
+every subsequent run of the same (benchmark, scale, seed) — across
+processes, orchestrator workers and sessions — reuses the columnar
+form.  The core's batched fast path over it is byte-identical to the
+per-instruction generator path (``compiled=False``), just faster; see
+``benchmarks/bench_engine_hotpath.py`` for the measured ratio.
 """
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass, field
 
 from repro.config.mcd import Domain, MCDConfig
 from repro.config.processor import ProcessorConfig
 from repro.control.base import FrequencyController
 from repro.errors import ExperimentError
+from repro.uarch.compiled_trace import (
+    CompiledTrace,
+    TraceStore,
+    from_columns,
+    trace_columns,
+)
 from repro.uarch.core import CoreOptions, CoreResult, MCDCore
-from repro.workloads.catalog import get_benchmark
+from repro.workloads.catalog import BenchmarkSpec, get_benchmark
 
 #: Regulator slew rate used with the scaled catalog workloads.  The
 #: paper's 49.1 ns/MHz makes a full-range transition take ~3.7 of its
@@ -30,6 +46,60 @@ SCALED_SLEW_NS_PER_MHZ = 1.5
 def scaled_mcd_config() -> MCDConfig:
     """Table 1 electricals with the time-compression-matched slew rate."""
     return MCDConfig(slew_ns_per_mhz=SCALED_SLEW_NS_PER_MHZ)
+
+
+#: Shared on-disk store of compiled traces plus a small in-process LRU
+#: (a few compiled traces are tens of MB of column lists; orchestrator
+#: workers run scenario batches benchmark-major, so a short memo wins).
+_TRACE_STORE = TraceStore()
+_TRACE_MEMO: OrderedDict[tuple[str, int], CompiledTrace] = OrderedDict()
+_TRACE_MEMO_LIMIT = 4
+
+
+def compiled_trace_for(
+    bench: BenchmarkSpec,
+    scale: float = 1.0,
+    line_shift: int = 6,
+    seed_offset: int = 0,
+) -> CompiledTrace:
+    """The benchmark's compiled trace, through cache layers.
+
+    Lookup order: in-process LRU, then the on-disk ``TraceStore``
+    (disabled by ``REPRO_CACHE=0``), then generate-and-compile.  The
+    content-hash key joins the full trace identity
+    (:meth:`~repro.workloads.catalog.BenchmarkSpec.trace_payload`),
+    ``COMPILED_TRACE_VERSION``, and the experiment cache's
+    ``CACHE_VERSION``, so bumping either version invalidates stale
+    compiled traces alongside stale results.  The cache line geometry
+    stays *out* of the disk key — the store persists only the
+    geometry-independent base columns and re-derives for
+    ``line_shift`` on load, so one stored trace serves every geometry;
+    only the in-process memo is keyed per shift.
+    """
+    # Deferred imports: repro.experiments imports this module.
+    from repro.experiments.cache import CACHE_VERSION
+    from repro.experiments.executor import cache_enabled
+
+    payload = bench.trace_payload(scale, seed_offset)
+    payload["cache_version"] = CACHE_VERSION
+    key = _TRACE_STORE.key(payload)
+    memo_key = (key, line_shift)
+    cached = _TRACE_MEMO.get(memo_key)
+    if cached is not None:
+        _TRACE_MEMO.move_to_end(memo_key)
+        return cached
+    use_disk = cache_enabled()
+    compiled = _TRACE_STORE.load(key, line_shift) if use_disk else None
+    if compiled is None:
+        trace = bench.build_trace(scale=scale, seed_offset=seed_offset)
+        columns = trace_columns(trace)
+        if use_disk:
+            _TRACE_STORE.store(key, columns)
+        compiled = from_columns(columns, line_shift)
+    _TRACE_MEMO[memo_key] = compiled
+    while len(_TRACE_MEMO) > _TRACE_MEMO_LIMIT:
+        _TRACE_MEMO.popitem(last=False)
+    return compiled
 
 
 @dataclass
@@ -57,6 +127,11 @@ class SimulationSpec:
     warmup:
         Replay the head of the trace through predictor/caches before
         timing, approximating the paper's warm mid-execution windows.
+    compiled:
+        Run over the compiled columnar trace (default; cached on disk,
+        batched core fast path).  False forces the per-instruction
+        generator reference path — byte-identical results, useful for
+        equivalence tests and the hot-path benchmark.
     memory_tracks_global:
         Scale main-memory latency with ``global_frequency_mhz``
         (latency constant in processor cycles, SimpleScalar-style).
@@ -78,6 +153,7 @@ class SimulationSpec:
     record_intervals: bool = False
     warmup: bool = True
     memory_tracks_global: bool = False
+    compiled: bool = True
     processor: ProcessorConfig = field(default_factory=ProcessorConfig)
     mcd_config: MCDConfig = field(default_factory=scaled_mcd_config)
 
@@ -85,7 +161,11 @@ class SimulationSpec:
 def run_spec(spec: SimulationSpec) -> CoreResult:
     """Execute one simulation run."""
     bench = get_benchmark(spec.benchmark)
-    trace = bench.build_trace(scale=spec.scale)
+    if spec.compiled:
+        line_shift = spec.processor.line_bytes.bit_length() - 1
+        trace = compiled_trace_for(bench, scale=spec.scale, line_shift=line_shift)
+    else:
+        trace = bench.build_trace(scale=spec.scale)
     initial = None
     processor = spec.processor
     if spec.global_frequency_mhz is not None:
@@ -123,9 +203,10 @@ def run_spec(spec: SimulationSpec) -> CoreResult:
         options=options,
     )
     if spec.warmup:
-        # The trace is a deterministic generator (each blocks() call
-        # replays it from the seed), so the timed trace doubles as the
-        # warm-up stream — building a second identical copy would only
-        # duplicate the phase bookkeeping.
+        # The timed trace doubles as the warm-up stream: a compiled
+        # trace is replayed directly from its columns, and a generator
+        # trace is deterministic (each blocks() call replays it from
+        # the seed), so building a second copy would only duplicate
+        # the phase bookkeeping.
         core.warm_up(trace, limit=trace.total_instructions)
     return core.run()

@@ -1,0 +1,345 @@
+"""Columnar compiled traces and their on-disk store.
+
+A :class:`CompiledTrace` is the whole dynamic instruction stream of one
+workload flattened into plain-list columns, plus derived columns the
+core's batched fast path (:meth:`repro.uarch.core.MCDCore.run` on a
+compiled trace) consumes directly instead of re-deriving them once per
+dynamic instruction:
+
+``dest[i]``
+    Destination register type (0 integer, 1 floating point, -1 none) —
+    the rename table lookup, precomputed.
+``domain[i]``
+    Issue-domain index (1 integer, 2 floating point, 3 load/store) —
+    the steering table lookup, precomputed.
+``newline[i]``
+    1 when instruction ``i`` starts a new L1I fetch line given the
+    compile-time ``line_shift`` (the core performs one I-cache lookup
+    per new line), else 0.
+``templates[i]``
+    The issue-queue entry the dispatch stage would build for
+    instruction ``i``: ``[seq, kind, dispatch_ns, p1, p2, addr,
+    retry_ns]``.  ``seq`` is the 1-based dispatch sequence number
+    (dispatch order equals trace order), ``p1``/``p2`` are the
+    dependency distances resolved into absolute producer sequence
+    numbers (0 for none), and the two time slots are reset by the core
+    at dispatch.  Each instruction dispatches at most once per run, so
+    the template lists are handed to the queues directly instead of
+    being rebuilt per dispatch.
+
+Compilation is a pure function of the trace, so a compiled trace can be
+cached on disk and shared across every run of the same workload:
+:class:`TraceStore` persists the seven *base* columns as an ``.npz``
+file named by a content hash (the caller builds the identity payload;
+see :func:`repro.sim.engine.compiled_trace_for`) and re-derives the
+config-dependent columns on load.  Writes are atomic
+(temp-file-plus-rename, like the experiment
+:class:`~repro.experiments.cache.CacheStore`), so concurrent
+orchestrator workers never observe a truncated trace.
+
+A :class:`CompiledTrace` also implements the
+:class:`~repro.uarch.trace.TraceStream` protocol (one big block), so
+anything that can consume a generator trace can consume a compiled one.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import logging
+import os
+import tempfile
+from pathlib import Path
+from typing import Iterator
+
+import numpy as np
+
+from repro.errors import TraceError
+from repro.uarch.isa import DEST_REGISTER_TYPE, ISSUE_DOMAIN_INDEX, NUM_CLASSES
+from repro.uarch.trace import InstructionBlock, TraceStream
+
+#: Bump when the compiled representation or its derivation changes;
+#: joined into every on-disk trace key so stale entries miss.
+COMPILED_TRACE_VERSION = 1
+
+#: Default store location, beside the experiment result cache.
+DEFAULT_TRACE_DIR = (
+    Path(__file__).resolve().parents[3] / "results" / "cache" / "traces"
+)
+
+_BASE_COLUMNS = ("kinds", "src1", "src2", "pcs", "addrs", "taken", "targets")
+
+logger = logging.getLogger(__name__)
+
+_DEST_TABLE = np.array(
+    [DEST_REGISTER_TYPE[code] for code in range(NUM_CLASSES)], dtype=np.int64
+)
+_DOMAIN_TABLE = np.array(
+    [ISSUE_DOMAIN_INDEX[code] for code in range(NUM_CLASSES)], dtype=np.int64
+)
+
+
+class CompiledTrace:
+    """One workload's instruction stream in columnar form.
+
+    All columns are plain Python lists of equal length ``n`` (list
+    indexing beats numpy scalar indexing inside a pure-Python loop).
+    The core treats every column as read-only except ``newline``
+    (copied per run before consuming) and the time slots of
+    ``templates`` entries (reset at dispatch), so one compiled trace
+    serves any number of sequential runs.
+    """
+
+    __slots__ = (
+        "n",
+        "line_shift",
+        "kinds",
+        "src1",
+        "src2",
+        "pcs",
+        "addrs",
+        "taken",
+        "targets",
+        "dest",
+        "domain",
+        "newline",
+        "templates",
+        "arrays",
+    )
+
+    def __init__(
+        self,
+        *,
+        line_shift: int,
+        kinds: list[int],
+        src1: list[int],
+        src2: list[int],
+        pcs: list[int],
+        addrs: list[int],
+        taken: list[int],
+        targets: list[int],
+        dest: list[int],
+        domain: list[int],
+        newline: list[int],
+        templates: list[list],
+        arrays: dict | None = None,
+    ) -> None:
+        self.n = len(kinds)
+        self.line_shift = line_shift
+        self.kinds = kinds
+        self.src1 = src1
+        self.src2 = src2
+        self.pcs = pcs
+        self.addrs = addrs
+        self.taken = taken
+        self.targets = targets
+        self.dest = dest
+        self.domain = domain
+        self.newline = newline
+        self.templates = templates
+        #: int64 numpy views of the columns (plus resolved dependency
+        #: pointers p1/p2), consumed zero-copy by the native hot path.
+        self.arrays = arrays or {}
+
+    # --- TraceStream protocol ------------------------------------------------
+    @property
+    def total_instructions(self) -> int:
+        """Exact trace length."""
+        return self.n
+
+    def blocks(self) -> Iterator[InstructionBlock]:
+        """Yield the trace as a single block (TraceStream view).
+
+        The block shares this trace's column lists; consumers must not
+        mutate them.
+        """
+        if self.n:
+            yield InstructionBlock(
+                kinds=self.kinds,
+                src1=self.src1,
+                src2=self.src2,
+                pcs=self.pcs,
+                addrs=self.addrs,
+                taken=self.taken,
+                targets=self.targets,
+            )
+
+
+def from_columns(columns: tuple[np.ndarray, ...], line_shift: int) -> CompiledTrace:
+    """Build a :class:`CompiledTrace` from the seven base columns."""
+    kinds, src1, src2, pcs, addrs, taken, targets = columns
+    n = len(kinds)
+    if any(len(column) != n for column in columns[1:]):
+        raise TraceError("compiled trace columns have mismatched lengths")
+    kinds = kinds.astype(np.int64, copy=False)
+    dest = _DEST_TABLE[kinds]
+    domain = _DOMAIN_TABLE[kinds]
+    lines = pcs.astype(np.int64, copy=False) >> line_shift
+    newline = np.ones(n, dtype=np.int64)
+    if n > 1:
+        newline[1:] = lines[1:] != lines[:-1]
+    seq = np.arange(1, n + 1, dtype=np.int64)
+    src1 = src1.astype(np.int64, copy=False)
+    src2 = src2.astype(np.int64, copy=False)
+    p1 = np.where((src1 > 0) & (src1 < seq), seq - src1, 0)
+    p2 = np.where((src2 > 0) & (src2 < seq), seq - src2, 0)
+    pcs = pcs.astype(np.int64, copy=False)
+    addrs = addrs.astype(np.int64, copy=False)
+    taken = taken.astype(np.int64, copy=False)
+    targets = targets.astype(np.int64, copy=False)
+    kinds_list = kinds.tolist()
+    addrs_list = addrs.tolist()
+    templates = [
+        [s, k, 0.0, a, b, addr, 0.0]
+        for s, k, a, b, addr in zip(
+            seq.tolist(), kinds_list, p1.tolist(), p2.tolist(), addrs_list
+        )
+    ]
+    arrays = {
+        "kinds": kinds,
+        "pcs": pcs,
+        "addrs": addrs,
+        "taken": taken,
+        "targets": targets,
+        "dest": dest,
+        "domain": domain,
+        "newline": newline,
+        "p1": p1.astype(np.int64, copy=False),
+        "p2": p2.astype(np.int64, copy=False),
+    }
+    return CompiledTrace(
+        line_shift=line_shift,
+        kinds=kinds_list,
+        src1=src1.tolist(),
+        src2=src2.tolist(),
+        pcs=pcs.tolist(),
+        addrs=addrs.tolist(),
+        taken=taken.tolist(),
+        targets=targets.tolist(),
+        dest=dest.tolist(),
+        domain=domain.tolist(),
+        newline=newline.tolist(),
+        templates=templates,
+        arrays=arrays,
+    )
+
+
+def trace_columns(trace: TraceStream) -> tuple[np.ndarray, ...]:
+    """The seven base columns of any trace stream.
+
+    Uses the stream's vectorised :meth:`columns` when it has one
+    (:class:`~repro.workloads.synthetic.SyntheticTrace`), otherwise
+    concatenates its blocks.
+    """
+    columns = getattr(trace, "columns", None)
+    if callable(columns):
+        return tuple(np.asarray(column) for column in columns())
+    parts: list[list[np.ndarray]] = [[] for _ in _BASE_COLUMNS]
+    for block in trace.blocks():
+        for store, name in zip(parts, _BASE_COLUMNS):
+            store.append(np.asarray(getattr(block, name), dtype=np.int64))
+    if not parts[0]:
+        return tuple(np.zeros(0, dtype=np.int64) for _ in _BASE_COLUMNS)
+    return tuple(np.concatenate(store) for store in parts)
+
+
+def compile_trace(trace: TraceStream, line_shift: int) -> CompiledTrace:
+    """Compile ``trace`` into columnar form for ``2**line_shift``-byte lines.
+
+    >>> from repro.uarch.isa import InstructionClass as IC
+    >>> from repro.uarch.trace import InstructionBlock, ListTrace
+    >>> block = InstructionBlock()
+    >>> block.append(IC.INT_ALU, pc=64)
+    >>> block.append(IC.LOAD, src1=1, pc=68, addr=4096)
+    >>> compiled = compile_trace(ListTrace([block]), line_shift=6)
+    >>> compiled.total_instructions, compiled.newline, compiled.domain
+    (2, [1, 0], [1, 3])
+    >>> compiled.templates[1]  # [seq, kind, t, p1, p2, addr, retry]
+    [2, 4, 0.0, 1, 0, 4096, 0.0]
+    """
+    return from_columns(trace_columns(trace), line_shift)
+
+
+class TraceStore:
+    """Atomic, content-addressed ``.npz`` store for compiled traces.
+
+    Only the seven base columns are persisted (compact integer dtypes);
+    the config-dependent derived columns are recomputed on load, so one
+    stored trace serves every cache-line geometry.
+
+    Parameters
+    ----------
+    directory:
+        Where entries live; created on first store.
+    enabled:
+        When False every load misses and every store is a no-op.
+    """
+
+    def __init__(
+        self, directory: Path | str | None = None, enabled: bool = True
+    ) -> None:
+        self.directory = (
+            Path(directory) if directory is not None else DEFAULT_TRACE_DIR
+        )
+        self.enabled = enabled
+
+    def key(self, payload: dict) -> str:
+        """Content-address a JSON-serialisable trace identity payload."""
+        text = json.dumps(
+            {"trace_version": COMPILED_TRACE_VERSION, **payload},
+            sort_keys=True,
+            default=str,
+        )
+        return hashlib.sha1(text.encode()).hexdigest()[:20]
+
+    def _path(self, key: str) -> Path:
+        return self.directory / f"{key}.npz"
+
+    def load(self, key: str, line_shift: int) -> CompiledTrace | None:
+        """The stored trace under ``key`` derived for ``line_shift``.
+
+        A present-but-unreadable entry counts as a miss and is logged.
+        """
+        if not self.enabled:
+            return None
+        path = self._path(key)
+        try:
+            with np.load(path) as data:
+                columns = tuple(data[name] for name in _BASE_COLUMNS)
+        except FileNotFoundError:
+            return None
+        except (OSError, KeyError, ValueError) as exc:
+            logger.warning(
+                "trace entry %s unreadable (%s); treating as miss", path, exc
+            )
+            return None
+        return from_columns(columns, line_shift)
+
+    def store(self, key: str, columns: tuple[np.ndarray, ...]) -> None:
+        """Atomically persist base ``columns`` under ``key``."""
+        if not self.enabled:
+            return
+        self.directory.mkdir(parents=True, exist_ok=True)
+        kinds, src1, src2, pcs, addrs, taken, targets = columns
+        fd, tmp_name = tempfile.mkstemp(
+            prefix=f"{key}.", suffix=".tmp", dir=self.directory
+        )
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                np.savez(
+                    handle,
+                    kinds=kinds.astype(np.uint8),
+                    src1=src1.astype(np.uint16),
+                    src2=src2.astype(np.uint16),
+                    pcs=pcs.astype(np.int64),
+                    addrs=addrs.astype(np.int64),
+                    taken=taken.astype(np.uint8),
+                    targets=targets.astype(np.int64),
+                )
+            os.replace(tmp_name, self._path(key))
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise

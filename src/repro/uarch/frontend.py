@@ -1,10 +1,12 @@
 """Front-end trace cursor: block iteration with cheap element access.
 
-The fetch stage consumes the workload's instruction blocks one element
-at a time.  :class:`TraceCursor` hides block boundaries and exposes the
-struct-of-arrays fields of the current instruction through plain
-attribute reads, keeping the core's fetch loop free of iterator
-overhead and allocation.
+The *reference* fetch path consumes the workload's instruction blocks
+one element at a time.  :class:`TraceCursor` hides block boundaries
+and exposes the struct-of-arrays fields of the current instruction
+through plain attribute reads, keeping that loop free of iterator
+overhead and allocation.  The batched fast path does not use a cursor
+at all — it walks the compiled columns
+(:mod:`repro.uarch.compiled_trace`) by integer index.
 """
 
 from __future__ import annotations

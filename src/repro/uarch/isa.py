@@ -56,3 +56,30 @@ _DOMAIN_OF = {
 
 #: Number of distinct instruction classes (trace-format constant).
 NUM_CLASSES = len(InstructionClass)
+
+#: Destination register type per class code: 0 integer, 1 floating
+#: point, -1 no destination.  Shared by the core's dispatch loop and the
+#: trace compiler (:mod:`repro.uarch.compiled_trace`) so both paths
+#: rename identically.
+DEST_REGISTER_TYPE: dict[int, int] = {
+    int(InstructionClass.INT_ALU): 0,
+    int(InstructionClass.INT_MULT): 0,
+    int(InstructionClass.FP_ALU): 1,
+    int(InstructionClass.FP_MULT): 1,
+    int(InstructionClass.LOAD): 0,
+    int(InstructionClass.STORE): -1,
+    int(InstructionClass.BRANCH): -1,
+}
+
+#: Issue-domain index per class code, using the core's domain ordering
+#: (0 front end, 1 integer, 2 floating point, 3 load/store).  Branches
+#: issue to the integer domain (they execute on integer ALUs).
+ISSUE_DOMAIN_INDEX: dict[int, int] = {
+    int(InstructionClass.INT_ALU): 1,
+    int(InstructionClass.INT_MULT): 1,
+    int(InstructionClass.FP_ALU): 2,
+    int(InstructionClass.FP_MULT): 2,
+    int(InstructionClass.LOAD): 3,
+    int(InstructionClass.STORE): 3,
+    int(InstructionClass.BRANCH): 1,
+}

@@ -1,0 +1,122 @@
+"""Build/load glue for the native hot-path extension.
+
+The batched core loop exists three times, in strictly decreasing
+portability and increasing speed: the generator reference path, the
+pure-Python compiled path, and the C translation in ``_hotpath.c``.
+This module owns the third: it compiles the C source into a shared
+object on first use (plain ``cc -O2 -fPIC -shared``, no build system,
+no new dependencies) and loads it as a CPython extension module.
+
+Floating-point identity is part of the contract, so the build disables
+FP contraction (``-ffp-contract=off``): a fused multiply-add rounds
+once where CPython rounds twice, and the equivalence property tests
+would catch the drift.
+
+Everything degrades gracefully: no compiler, a failed build, or
+``REPRO_NATIVE=0`` simply mean :func:`load_hotpath` returns ``None``
+and the core stays on the pure-Python compiled path.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import importlib.machinery
+import importlib.util
+import logging
+import os
+import shutil
+import subprocess
+import sysconfig
+from pathlib import Path
+
+logger = logging.getLogger(__name__)
+
+_SOURCE = Path(__file__).resolve().parent / "_hotpath.c"
+_BUILD_DIR = Path(__file__).resolve().parents[3] / "build" / "hotpath"
+
+_cached: object | None = None
+_attempted = False
+
+
+def native_enabled() -> bool:
+    """Whether the native path may be used (``REPRO_NATIVE`` != 0)."""
+    return os.environ.get("REPRO_NATIVE", "1") != "0"
+
+
+def _build_stamp() -> str:
+    """Content hash naming the built artifact (source + interpreter ABI)."""
+    payload = _SOURCE.read_bytes() + sysconfig.get_python_version().encode()
+    return hashlib.sha1(payload).hexdigest()[:16]
+
+
+def _compile(so_path: Path) -> bool:
+    """Compile ``_hotpath.c`` into ``so_path``; False when impossible."""
+    compiler = (
+        os.environ.get("CC")
+        or shutil.which("cc")
+        or shutil.which("gcc")
+        or shutil.which("clang")
+    )
+    if compiler is None:
+        logger.info("hotpath: no C compiler found; using the Python path")
+        return False
+    include = sysconfig.get_paths()["include"]
+    so_path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = so_path.with_suffix(f".{os.getpid()}.tmp.so")
+    cmd = [
+        compiler,
+        "-O2",
+        "-fPIC",
+        "-shared",
+        "-ffp-contract=off",
+        f"-I{include}",
+        str(_SOURCE),
+        "-o",
+        str(tmp),
+        "-lm",
+    ]
+    try:
+        proc = subprocess.run(
+            cmd, capture_output=True, text=True, timeout=120, check=False
+        )
+    except (OSError, subprocess.TimeoutExpired) as exc:
+        logger.warning("hotpath: compile failed to run (%s)", exc)
+        return False
+    if proc.returncode != 0:
+        logger.warning(
+            "hotpath: compile failed; using the Python path\n%s", proc.stderr
+        )
+        try:
+            tmp.unlink()
+        except OSError:
+            pass
+        return False
+    os.replace(tmp, so_path)
+    return True
+
+
+def load_hotpath():
+    """The ``_hotpath`` extension module, or None when unavailable.
+
+    The first call may compile the extension; the result (including
+    failure) is cached for the life of the process.
+    """
+    global _cached, _attempted
+    if _attempted:
+        return _cached
+    _attempted = True
+    if not native_enabled():
+        return None
+    try:
+        so_path = _BUILD_DIR / f"_hotpath-{_build_stamp()}.so"
+        if not so_path.exists() and not _compile(so_path):
+            return None
+        loader = importlib.machinery.ExtensionFileLoader("_hotpath", str(so_path))
+        spec = importlib.util.spec_from_loader("_hotpath", loader)
+        module = importlib.util.module_from_spec(spec)
+        loader.exec_module(module)
+        _cached = module
+    except Exception as exc:  # noqa: BLE001 - any failure means fallback
+        logger.warning("hotpath: load failed (%s); using the Python path", exc)
+        _cached = None
+    return _cached

@@ -18,10 +18,15 @@ from repro.errors import SimulationError
 class IssueQueue:
     """A bounded in-order-scan issue window.
 
-    Entries are opaque to the queue (the core stores tuples); the queue
-    provides capacity checking and per-cycle occupancy accumulation.
-    Entries are kept in dispatch order, so the core's issue scan is
-    oldest-first.
+    Entries are opaque to the queue (the core stores small lists); the
+    queue provides capacity checking and per-cycle occupancy
+    accumulation.  Entries are kept in dispatch order, so the core's
+    issue scan is oldest-first.
+
+    The ``entries`` list's *identity* is part of the contract: the
+    core's batched fast path holds a direct reference to it and
+    rebuilds it in place (slice assignment), so replacing the list
+    object mid-run would silently fork the state.
     """
 
     __slots__ = ("name", "capacity", "entries", "occupancy_accumulated", "writes")

@@ -2,8 +2,12 @@
 
 A trace is a sequence of :class:`InstructionBlock` objects, each a
 struct-of-arrays over a few thousand dynamic instructions.  Blocks are
-produced lazily by workload generators and consumed once by the core,
-so arbitrarily long runs use bounded memory.
+produced lazily by workload generators and consumed once by the core's
+*reference* path, so arbitrarily long runs use bounded memory.  The
+production path compiles the same stream into whole-trace columnar
+form instead (:mod:`repro.uarch.compiled_trace`), trading memory for
+the batched fast path; both views come from one generator routine and
+are identical instruction for instruction.
 
 Per-instruction fields
 ----------------------
@@ -41,7 +45,8 @@ class InstructionBlock:
     """A struct-of-arrays block of dynamic instructions.
 
     All lists have identical length.  Plain Python lists (not numpy)
-    because the simulator consumes them element-wise in its hot loop.
+    because the reference simulation path consumes them element-wise,
+    where list indexing beats numpy scalar indexing.
     """
 
     kinds: list[int] = field(default_factory=list)

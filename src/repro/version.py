@@ -1,6 +1,13 @@
-"""Version and paper identity constants."""
+"""Version and paper identity constants.
 
-__version__ = "1.0.0"
+``__version__`` is the single source of truth; ``pyproject.toml`` and
+the CLI's ``--version`` flag both track it.
+
+>>> __version__
+'1.2.0'
+"""
+
+__version__ = "1.2.0"
 
 #: The reproduced paper.
 PAPER_TITLE = (

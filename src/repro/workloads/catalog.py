@@ -62,6 +62,31 @@ class BenchmarkSpec:
             phases = tuple(p.scaled(scale) for p in phases)
         return SyntheticTrace(list(phases), seed=self.seed + seed_offset)
 
+    def trace_payload(self, scale: float = 1.0, seed_offset: int = 0) -> dict:
+        """JSON-serialisable identity of the trace :meth:`build_trace` makes.
+
+        Everything that determines the generated instruction stream —
+        name, seed, scale and the full phase parameterisation — goes
+        in, so the compiled-trace store can content-address it.
+        """
+        from dataclasses import fields
+
+        def phase_dict(phase: Phase) -> dict:
+            out = {}
+            for f in fields(phase):
+                value = getattr(phase, f.name)
+                if f.name == "mix":
+                    value = {int(k): v for k, v in value.items()}
+                out[f.name] = value
+            return out
+
+        return {
+            "benchmark": self.name,
+            "seed": self.seed + seed_offset,
+            "scale": scale,
+            "phases": [phase_dict(p) for p in self.phases],
+        }
+
 
 def _mix(**overrides: float) -> dict[IC, float]:
     """Build a normalised mix from class-name keyword fractions."""

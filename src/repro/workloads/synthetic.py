@@ -14,8 +14,14 @@ predictor, the effective addresses drive the actual L1D/L2, so cache
 miss rates and branch accuracies are *emergent* from the phase's
 locality parameters, not asserted.
 
-Generation is vectorised per block with numpy and converted to plain
-lists for the simulator's hot loop.
+Generation is vectorised per block with numpy.  Consumers pick the
+representation: :meth:`SyntheticTrace.blocks` yields plain-list
+:class:`~repro.uarch.trace.InstructionBlock` objects (the reference
+per-instruction path), while :meth:`SyntheticTrace.columns` hands the
+raw numpy arrays for the whole trace to the trace compiler
+(:mod:`repro.uarch.compiled_trace`) without a per-block list
+round-trip.  Both draw from one generator routine, so the streams are
+identical instruction for instruction.
 """
 
 from __future__ import annotations
@@ -74,14 +80,40 @@ class SyntheticTrace:
 
     def blocks(self) -> Iterator[InstructionBlock]:
         """Generate the trace, block by block."""
-        rng = np.random.default_rng(self.seed)
-        for phase in self.phases:
-            yield from self._phase_blocks(phase, rng)
+        for kinds, src1, src2, pcs, addrs, taken, targets in self._arrays():
+            yield InstructionBlock(
+                kinds=kinds.tolist(),
+                src1=src1.tolist(),
+                src2=src2.tolist(),
+                pcs=pcs.tolist(),
+                addrs=addrs.tolist(),
+                taken=taken.tolist(),
+                targets=targets.tolist(),
+            )
+
+    def columns(self) -> tuple[np.ndarray, ...]:
+        """The whole trace as seven numpy columns.
+
+        Returns ``(kinds, src1, src2, pcs, addrs, taken, targets)``
+        concatenated over every block, drawn from the same seeded
+        stream as :meth:`blocks`.
+        """
+        parts: list[list[np.ndarray]] = [[] for _ in range(7)]
+        for arrays in self._arrays():
+            for store, array in zip(parts, arrays):
+                store.append(array)
+        return tuple(np.concatenate(store) for store in parts)
 
     # ------------------------------------------------------------------
-    def _phase_blocks(
+    def _arrays(self) -> Iterator[tuple[np.ndarray, ...]]:
+        """Yield per-block struct-of-arrays tuples for the whole trace."""
+        rng = np.random.default_rng(self.seed)
+        for phase in self.phases:
+            yield from self._phase_arrays(phase, rng)
+
+    def _phase_arrays(
         self, phase: Phase, rng: np.random.Generator
-    ) -> Iterator[InstructionBlock]:
+    ) -> Iterator[tuple[np.ndarray, ...]]:
         probabilities = np.zeros(NUM_CLASSES)
         for klass, fraction in phase.mix.items():
             probabilities[int(klass)] = fraction
@@ -182,13 +214,4 @@ class SyntheticTrace:
                     )
                 addrs[is_mem] = mem_addrs
 
-            block = InstructionBlock(
-                kinds=kinds.tolist(),
-                src1=src1.tolist(),
-                src2=src2.tolist(),
-                pcs=pcs.tolist(),
-                addrs=addrs.tolist(),
-                taken=taken.tolist(),
-                targets=targets.tolist(),
-            )
-            yield block
+            yield kinds, src1, src2, pcs, addrs, taken, targets

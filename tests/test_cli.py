@@ -20,9 +20,19 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["compare"])
 
-    def test_command_required(self):
-        with pytest.raises(SystemExit):
-            build_parser().parse_args([])
+    def test_no_command_prints_usage(self, capsys):
+        # A bare ``python -m repro`` is a help request, not an error:
+        # usage goes to stdout and the exit status is 2.
+        assert main([]) == 2
+        assert "usage: repro" in capsys.readouterr().out
+
+    def test_version_flag(self, capsys):
+        from repro.version import __version__
+
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+        assert __version__ in capsys.readouterr().out
 
 
 class TestExecution:

@@ -1,0 +1,218 @@
+"""Compiled-trace correctness: representation, store, and equivalence.
+
+The load-bearing guarantee of the trace compilation layer is that the
+batched core paths are *byte-identical* to the per-instruction
+generator reference path — every benchmark, every clocking mode, every
+execution backend.  These tests pin that, plus the columnar
+representation itself and the on-disk store.
+"""
+
+from dataclasses import asdict
+
+import pytest
+
+from repro.config.algorithm import SCALED_OPERATING_POINT
+from repro.config.processor import ProcessorConfig
+from repro.control.attack_decay import AttackDecayController
+from repro.errors import SimulationError
+from repro.metrics.summary import summarize
+from repro.sim.engine import (
+    SimulationSpec,
+    compiled_trace_for,
+    run_spec,
+    scaled_mcd_config,
+)
+from repro.uarch import native
+from repro.uarch.compiled_trace import TraceStore, compile_trace, trace_columns
+from repro.uarch.core import CoreOptions, MCDCore
+from repro.workloads.catalog import BENCHMARKS, get_benchmark
+
+LINE_SHIFT = ProcessorConfig().line_bytes.bit_length() - 1
+SCALE = 0.05
+
+
+def _run(trace, bench, mcd=True, controller=True, record=False):
+    options = CoreOptions(
+        mcd=mcd,
+        seed=2,
+        interval_instructions=bench.interval_instructions,
+        record_interval_trace=record,
+    )
+    core = MCDCore(
+        processor=ProcessorConfig(),
+        mcd_config=scaled_mcd_config(),
+        trace=trace,
+        controller=AttackDecayController(SCALED_OPERATING_POINT)
+        if controller
+        else None,
+        options=options,
+    )
+    core.warm_up(trace, limit=trace.total_instructions)
+    return core.run()
+
+
+@pytest.fixture
+def python_path(monkeypatch):
+    """Force the pure-Python batched loop (no native extension)."""
+    monkeypatch.setattr(native, "_cached", None)
+    monkeypatch.setattr(native, "_attempted", True)
+    yield
+
+
+# ---------------------------------------------------------------- columns
+class TestRepresentation:
+    def test_columns_match_blocks(self):
+        trace = get_benchmark("epic").build_trace(scale=SCALE)
+        kinds, src1, src2, pcs, addrs, taken, targets = trace_columns(trace)
+        flat = {"kinds": [], "src1": [], "pcs": [], "addrs": [], "taken": [], "targets": []}
+        for block in trace.blocks():
+            flat["kinds"] += block.kinds
+            flat["src1"] += block.src1
+            flat["pcs"] += block.pcs
+            flat["addrs"] += block.addrs
+            flat["taken"] += block.taken
+            flat["targets"] += block.targets
+        assert kinds.tolist() == flat["kinds"]
+        assert src1.tolist() == flat["src1"]
+        assert pcs.tolist() == flat["pcs"]
+        assert addrs.tolist() == flat["addrs"]
+        assert [bool(x) for x in taken.tolist()] == flat["taken"]
+        assert targets.tolist() == flat["targets"]
+
+    def test_compiled_trace_is_a_trace_stream(self):
+        trace = get_benchmark("adpcm").build_trace(scale=SCALE)
+        compiled = compile_trace(trace, LINE_SHIFT)
+        assert compiled.total_instructions == trace.total_instructions
+        blocks = list(compiled.blocks())
+        assert sum(len(b) for b in blocks) == compiled.n
+
+    def test_newline_marks_fetch_line_changes(self):
+        trace = get_benchmark("adpcm").build_trace(scale=SCALE)
+        compiled = compile_trace(trace, LINE_SHIFT)
+        lines = [pc >> LINE_SHIFT for pc in compiled.pcs]
+        expect = [1] + [int(lines[i] != lines[i - 1]) for i in range(1, compiled.n)]
+        assert compiled.newline == expect
+
+    def test_templates_resolve_dependencies(self):
+        trace = get_benchmark("gsm").build_trace(scale=SCALE)
+        compiled = compile_trace(trace, LINE_SHIFT)
+        for i in (0, 1, len(compiled.templates) - 1):
+            seq, kind, t0, p1, p2, addr, retry = compiled.templates[i]
+            assert seq == i + 1
+            assert kind == compiled.kinds[i]
+            assert addr == compiled.addrs[i]
+            s1 = compiled.src1[i]
+            assert p1 == (seq - s1 if 0 < s1 <= i else 0)
+
+    def test_line_shift_mismatch_rejected(self):
+        trace = get_benchmark("adpcm").build_trace(scale=SCALE)
+        compiled = compile_trace(trace, LINE_SHIFT + 1)
+        with pytest.raises(SimulationError):
+            MCDCore(ProcessorConfig(), scaled_mcd_config(), compiled)
+
+
+# ------------------------------------------------------------------ store
+class TestTraceStore:
+    def test_round_trip(self, tmp_path):
+        store = TraceStore(tmp_path)
+        trace = get_benchmark("epic").build_trace(scale=SCALE)
+        columns = trace_columns(trace)
+        key = store.key({"benchmark": "epic", "scale": SCALE})
+        assert store.load(key, LINE_SHIFT) is None
+        store.store(key, columns)
+        loaded = store.load(key, LINE_SHIFT)
+        fresh = compile_trace(trace, LINE_SHIFT)
+        assert loaded.kinds == fresh.kinds
+        assert loaded.pcs == fresh.pcs
+        assert loaded.addrs == fresh.addrs
+        assert loaded.taken == fresh.taken
+        assert loaded.newline == fresh.newline
+        assert loaded.templates == fresh.templates
+
+    def test_disabled_store_misses(self, tmp_path):
+        store = TraceStore(tmp_path, enabled=False)
+        columns = trace_columns(get_benchmark("adpcm").build_trace(scale=SCALE))
+        key = store.key({"x": 1})
+        store.store(key, columns)
+        assert store.load(key, LINE_SHIFT) is None
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        store = TraceStore(tmp_path)
+        key = store.key({"x": 2})
+        (tmp_path / f"{key}.npz").write_bytes(b"not an npz")
+        assert store.load(key, LINE_SHIFT) is None
+
+    def test_keys_separate_identities(self):
+        store = TraceStore()
+        a = store.key({"benchmark": "epic", "scale": 1.0})
+        b = store.key({"benchmark": "epic", "scale": 0.5})
+        assert a != b
+
+
+# ------------------------------------------------------------ equivalence
+class TestEquivalence:
+    """Compiled and generator paths produce identical CoreResults."""
+
+    @pytest.mark.parametrize("name", sorted(BENCHMARKS))
+    def test_catalog_identical(self, name):
+        bench = get_benchmark(name)
+        trace = bench.build_trace(scale=SCALE)
+        compiled = compile_trace(trace, LINE_SHIFT)
+        reference = _run(trace, bench, record=True)
+        fast = _run(compiled, bench, record=True)
+        assert asdict(fast) == asdict(reference)
+
+    @pytest.mark.parametrize("name", ["epic", "mcf"])
+    def test_python_batched_path_identical(self, name, python_path):
+        bench = get_benchmark(name)
+        trace = bench.build_trace(scale=SCALE)
+        compiled = compile_trace(trace, LINE_SHIFT)
+        assert asdict(_run(compiled, bench)) == asdict(_run(trace, bench))
+
+    def test_synchronous_baseline_identical(self):
+        bench = get_benchmark("gcc")
+        trace = bench.build_trace(scale=SCALE)
+        compiled = compile_trace(trace, LINE_SHIFT)
+        reference = _run(trace, bench, mcd=False)
+        assert asdict(_run(compiled, bench, mcd=False)) == asdict(reference)
+
+    def test_no_controller_identical(self):
+        bench = get_benchmark("swim")
+        trace = bench.build_trace(scale=SCALE)
+        compiled = compile_trace(trace, LINE_SHIFT)
+        reference = _run(trace, bench, controller=False)
+        assert asdict(_run(compiled, bench, controller=False)) == asdict(reference)
+
+    @pytest.mark.parametrize(
+        "configuration",
+        ["sync", "mcd_base", "attack_decay", "global@725.000"],
+    )
+    def test_registered_configurations_identical(self, configuration):
+        from dataclasses import replace
+
+        from repro.experiments import CONFIGURATIONS
+        from repro.experiments.executor import ExecutionContext
+
+        factory, parsed = CONFIGURATIONS.resolve(configuration)
+        context = ExecutionContext(scale=SCALE, use_cache=False)
+        spec = factory(context, "epic", scale=SCALE, seed=1, **parsed)
+        assert isinstance(spec, SimulationSpec)
+        fast = summarize(run_spec(replace(spec, compiled=True))).to_dict()
+        reference = summarize(run_spec(replace(spec, compiled=False))).to_dict()
+        assert fast == reference
+
+
+# ------------------------------------------------------------- engine glue
+class TestCompiledTraceFor:
+    def test_memoised_within_process(self):
+        bench = get_benchmark("adpcm")
+        a = compiled_trace_for(bench, scale=SCALE, line_shift=LINE_SHIFT)
+        b = compiled_trace_for(bench, scale=SCALE, line_shift=LINE_SHIFT)
+        assert a is b
+
+    def test_run_spec_uses_compiled_by_default(self):
+        fast = run_spec(SimulationSpec(benchmark="adpcm", scale=SCALE))
+        reference = run_spec(
+            SimulationSpec(benchmark="adpcm", scale=SCALE, compiled=False)
+        )
+        assert asdict(fast) == asdict(reference)
