@@ -4,16 +4,24 @@ Commands
 --------
 ``catalog``
     List the 30 benchmarks with suites and windows.
+``list-scenarios``
+    List every runnable workload — catalog, derived (workload algebra),
+    and imported — with lengths and compositions.
 ``list-configurations``
     Show every registered configuration, controller and clocking mode.
 ``run BENCH``
     Simulate one benchmark under a chosen configuration and print the
-    headline metrics.
+    headline metrics (``--phases`` adds per-phase attribution).
 ``sweep``
     Expand a benchmarks x configurations x seeds matrix and execute it
     across a worker pool (the orchestrator behind the paper's tables).
 ``compare BENCH [BENCH ...]``
     Table-6-style comparison of the algorithms on a benchmark mix.
+``export-trace BENCH PATH``
+    Record a workload's instruction stream to a portable ETF file.
+``import-trace PATH``
+    Validate an ETF file, register it as a runnable workload, and
+    optionally simulate it.
 ``hardware``
     Print the Table 3 controller gate-count estimate.
 """
@@ -29,6 +37,7 @@ from typing import Sequence
 
 from repro.config.algorithm import AttackDecayParams, SCALED_OPERATING_POINT
 from repro.control.hardware_cost import estimate_attack_decay_hardware
+from repro.errors import ExperimentError, TraceError, WorkloadError
 from repro.experiments import (
     CLOCKING_MODES,
     CONFIGURATIONS,
@@ -37,11 +46,18 @@ from repro.experiments import (
     Suite,
 )
 from repro.metrics.aggregate import aggregate
-from repro.reporting.tables import format_table, resultset_table
+from repro.metrics.summary import summarize_phases
+from repro.reporting.tables import format_table, phase_table, resultset_table
 from repro.sim.engine import SimulationSpec, run_spec
 from repro.sim.experiment import ExperimentRunner, quick_benchmarks
+from repro.uarch.etf import export_benchmark, read_etf
 from repro.version import PAPER_VENUE, __version__
-from repro.workloads.catalog import BENCHMARKS, get_benchmark
+from repro.workloads.catalog import (
+    BENCHMARKS,
+    all_benchmarks,
+    get_benchmark,
+    register_benchmark,
+)
 
 
 def _cmd_catalog(_: argparse.Namespace) -> int:
@@ -56,6 +72,33 @@ def _cmd_catalog(_: argparse.Namespace) -> int:
             title="Benchmark catalog (Table 5)",
         )
     )
+    return 0
+
+
+def _cmd_list_scenarios(args: argparse.Namespace) -> int:
+    rows = []
+    for spec in all_benchmarks().values():
+        if args.family and args.family.lower() not in (
+            spec.suite.lower() + " " + spec.name.lower()
+        ):
+            continue
+        rows.append(
+            (
+                spec.name,
+                spec.suite,
+                f"{spec.sim_instructions:,}",
+                str(len(spec.phases)),
+                spec.datasets,
+            )
+        )
+    print(
+        format_table(
+            ["Scenario", "Family", "Instructions", "Phases", "Composition"],
+            rows,
+            title="Runnable scenarios (catalog + derived + registered)",
+        )
+    )
+    print(f"\n{len(rows)} scenarios; compose more with repro.workloads.algebra.")
     return 0
 
 
@@ -80,17 +123,30 @@ def _cmd_list_configurations(_: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_run(args: argparse.Namespace) -> int:
-    get_benchmark(args.benchmark)  # validate early
+def _controller_from_args(args: argparse.Namespace):
+    """Build the controller selected by run-style CLI arguments."""
     algorithm = args.algorithm.replace("-", "_")
     controller_factory = CONTROLLERS.get(algorithm)
     if algorithm == "attack_decay":
         params = SCALED_OPERATING_POINT if args.scaled else AttackDecayParams()
-        controller = controller_factory(params)
-    elif algorithm == "global_dvfs":
-        controller = controller_factory(args.frequency_mhz)
-    else:
-        controller = controller_factory()
+        return controller_factory(params)
+    if algorithm == "global_dvfs":
+        return controller_factory(args.frequency_mhz)
+    return controller_factory()
+
+
+def _print_headline_metrics(result) -> None:
+    """The shared instructions/time/CPI/EPI/energy block of run output."""
+    print(f"instructions:   {result.instructions:,}")
+    print(f"wall time:      {result.wall_time_ns:,.0f} ns")
+    print(f"CPI:            {result.cpi:.3f}")
+    print(f"EPI:            {result.epi:.3f}")
+    print(f"energy:         {result.energy:,.0f}")
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    bench = get_benchmark(args.benchmark)  # validate early
+    controller = _controller_from_args(args)
     mcd = not args.sync
     spec = SimulationSpec(
         benchmark=args.benchmark,
@@ -98,20 +154,27 @@ def _cmd_run(args: argparse.Namespace) -> int:
         controller=controller,
         scale=args.scale,
         seed=args.seed,
+        record_intervals=args.phases,
     )
     result = run_spec(spec)
     print(f"benchmark:      {args.benchmark}")
     print(f"configuration:  {'sync' if args.sync else 'mcd'} / {args.algorithm}")
-    print(f"instructions:   {result.instructions:,}")
-    print(f"wall time:      {result.wall_time_ns:,.0f} ns")
-    print(f"CPI:            {result.cpi:.3f}")
-    print(f"EPI:            {result.epi:.3f}")
-    print(f"energy:         {result.energy:,.0f}")
+    _print_headline_metrics(result)
     print(f"branch acc:     {result.branch_accuracy:.3f}")
     print(f"L1D miss rate:  {result.l1d_miss_rate:.3f}")
     print("final domain frequencies (MHz):")
     for domain, mhz in result.final_frequencies_mhz.items():
         print(f"  {domain.value:16s} {mhz:7.1f}")
+    if args.phases:
+        phased = summarize_phases(result, bench.phase_marks(args.scale))
+        print()
+        print(phase_table(phased.phases, title="Per-phase attribution"))
+        dominant = phased.dominant_phase()
+        print(
+            f"\ndominant phase (energy): {dominant.name} "
+            f"({dominant.energy_share:.1%} of energy, "
+            f"{dominant.time_share:.1%} of time)"
+        )
     return 0
 
 
@@ -124,22 +187,30 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         logging.basicConfig(
             level=logging.INFO, format="%(levelname)s %(message)s"
         )
-    benchmarks = (
-        quick_benchmarks() if args.benchmarks == "all" else _parse_csv(args.benchmarks)
-    )
-    suite = Suite(
-        benchmarks=benchmarks,
-        configurations=_parse_csv(args.configurations),
-        seeds=[int(s) for s in _parse_csv(args.seeds)],
-        scale=args.scale,
-        name="sweep",
-    )
-    orchestrator = Orchestrator(
-        workers=args.workers,
-        cache_dir=args.cache_dir,
-        use_cache=False if args.no_cache else None,
-    )
-    results = orchestrator.run(suite)
+    try:
+        benchmarks = (
+            quick_benchmarks()
+            if args.benchmarks == "all"
+            else _parse_csv(args.benchmarks)
+        )
+        suite = Suite(
+            benchmarks=benchmarks,
+            configurations=_parse_csv(args.configurations),
+            seeds=[int(s) for s in _parse_csv(args.seeds)],
+            scale=args.scale,
+            name="sweep",
+        )
+        orchestrator = Orchestrator(
+            workers=args.workers,
+            cache_dir=args.cache_dir,
+            use_cache=False if args.no_cache else None,
+        )
+        results = orchestrator.run(suite)
+    except ExperimentError as exc:
+        # Bad matrix axes or environment knobs are user errors, not
+        # tracebacks: name the problem and exit like argparse would.
+        print(f"sweep: error: {exc}", file=sys.stderr)
+        return 2
     print(resultset_table(results, title="Sweep results"))
     for outcome in results.errors:
         print(f"\nFAILED {outcome.scenario.run_id}:\n{outcome.error}")
@@ -211,6 +282,63 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_export_trace(args: argparse.Namespace) -> int:
+    bench = get_benchmark(args.benchmark)
+    checksum = export_benchmark(
+        bench, args.path, scale=args.scale, seed_offset=args.seed_offset
+    )
+    size = Path(args.path).stat().st_size
+    # Per-phase rounding means the true length is the last phase mark,
+    # not round(total * scale).
+    instructions = bench.phase_marks(args.scale)[-1][1]
+    print(f"exported {args.benchmark} -> {args.path}")
+    print(f"instructions: {instructions:,}  size: {size:,} bytes")
+    print(f"checksum:     {checksum}")
+    return 0
+
+
+def _cmd_import_trace(args: argparse.Namespace) -> int:
+    from dataclasses import replace as dc_replace
+
+    try:
+        external = read_etf(args.path)
+    except TraceError as exc:
+        print(f"import-trace: error: {exc}", file=sys.stderr)
+        return 2
+    name = args.register_as or f"{external.name}@etf"
+    try:
+        external = register_benchmark(dc_replace(external, name=name), replace=True)
+    except WorkloadError as exc:
+        print(f"import-trace: error: {exc}", file=sys.stderr)
+        return 2
+    print(f"imported {args.path} as {name!r}")
+    print(f"instructions: {external.sim_instructions:,}")
+    print(f"phases:       {len(external.phases)}")
+    print(f"interval:     {external.interval_instructions} instructions")
+    print(f"checksum:     {external.checksum}")
+    if external.meta:
+        provenance = ", ".join(f"{k}={v}" for k, v in sorted(external.meta.items()))
+        print(f"provenance:   {provenance}")
+    if not args.run:
+        return 0
+    spec = SimulationSpec(
+        benchmark=name,
+        mcd=not args.sync,
+        controller=_controller_from_args(args),
+        seed=args.seed,
+        record_intervals=args.phases,
+    )
+    result = run_spec(spec)
+    print()
+    print(f"benchmark:      {name}")
+    _print_headline_metrics(result)
+    if args.phases and external.phases:
+        phased = summarize_phases(result, external.phase_marks())
+        print()
+        print(phase_table(phased.phases, title="Per-phase attribution"))
+    return 0
+
+
 def _cmd_hardware(_: argparse.Namespace) -> int:
     model = estimate_attack_decay_hardware()
     print(
@@ -251,29 +379,49 @@ def build_parser() -> argparse.ArgumentParser:
         help="show the configuration/controller/clocking registries",
     ).set_defaults(func=_cmd_list_configurations)
 
+    scen_p = sub.add_parser(
+        "list-scenarios",
+        help="list every runnable workload (catalog + derived + registered)",
+    )
+    scen_p.add_argument(
+        "--family",
+        default=None,
+        help="substring filter on the family/name (e.g. 'Derived', 'thrash')",
+    )
+    scen_p.set_defaults(func=_cmd_list_scenarios)
+
+    def add_run_arguments(parser_: argparse.ArgumentParser) -> None:
+        """Controller/clocking options shared by run and import-trace."""
+        parser_.add_argument(
+            "--algorithm",
+            # Registry names, minus the passive profiling pass (not a
+            # run configuration) and the underscore alias of the default.
+            choices=sorted(
+                {"attack-decay", *CONTROLLERS.names()}
+                - {"attack_decay", "offline_profiler"}
+            ),
+            default="attack-decay",
+            help="controller registry name ('none' for fixed frequencies)",
+        )
+        parser_.add_argument("--sync", action="store_true", help="fully synchronous")
+        parser_.add_argument(
+            "--frequency-mhz",
+            type=float,
+            default=1000.0,
+            help="target frequency for --algorithm global_dvfs",
+        )
+        parser_.add_argument("--scaled", action="store_true", default=True)
+        parser_.add_argument("--seed", type=int, default=1)
+        parser_.add_argument(
+            "--phases",
+            action="store_true",
+            help="record intervals and print per-phase attribution",
+        )
+
     run_p = sub.add_parser("run", help="simulate one benchmark")
     run_p.add_argument("benchmark")
-    run_p.add_argument(
-        "--algorithm",
-        # Registry names, minus the passive profiling pass (not a
-        # run configuration) and the underscore alias of the default.
-        choices=sorted(
-            {"attack-decay", *CONTROLLERS.names()}
-            - {"attack_decay", "offline_profiler"}
-        ),
-        default="attack-decay",
-        help="controller registry name ('none' for fixed frequencies)",
-    )
-    run_p.add_argument("--sync", action="store_true", help="fully synchronous")
-    run_p.add_argument(
-        "--frequency-mhz",
-        type=float,
-        default=1000.0,
-        help="target frequency for --algorithm global_dvfs",
-    )
-    run_p.add_argument("--scaled", action="store_true", default=True)
+    add_run_arguments(run_p)
     run_p.add_argument("--scale", type=float, default=1.0)
-    run_p.add_argument("--seed", type=int, default=1)
     run_p.set_defaults(func=_cmd_run)
 
     sweep_p = sub.add_parser(
@@ -312,6 +460,30 @@ def build_parser() -> argparse.ArgumentParser:
     cmp_p.add_argument("--scale", type=float, default=1.0)
     cmp_p.add_argument("--seed", type=int, default=1)
     cmp_p.set_defaults(func=_cmd_compare)
+
+    exp_p = sub.add_parser(
+        "export-trace", help="record a workload to a portable ETF file"
+    )
+    exp_p.add_argument("benchmark")
+    exp_p.add_argument("path")
+    exp_p.add_argument("--scale", type=float, default=1.0)
+    exp_p.add_argument("--seed-offset", type=int, default=0)
+    exp_p.set_defaults(func=_cmd_export_trace)
+
+    imp_p = sub.add_parser(
+        "import-trace", help="validate/register an ETF file, optionally run it"
+    )
+    imp_p.add_argument("path")
+    imp_p.add_argument(
+        "--register-as",
+        default=None,
+        help="name to register under (default: '<header name>@etf')",
+    )
+    imp_p.add_argument(
+        "--run", action="store_true", help="simulate the imported trace"
+    )
+    add_run_arguments(imp_p)
+    imp_p.set_defaults(func=_cmd_import_trace)
 
     sub.add_parser("hardware", help="Table 3 gate estimate").set_defaults(
         func=_cmd_hardware

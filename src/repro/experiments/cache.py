@@ -14,9 +14,9 @@ from __future__ import annotations
 import hashlib
 import json
 import logging
-import os
-import tempfile
 from pathlib import Path
+
+from repro.ioutil import atomic_write
 
 #: Bump when a change invalidates previously cached results.  The
 #: compiled-trace store joins this version into its own keys (see
@@ -76,7 +76,9 @@ class CacheStore:
             text = path.read_text()
         except FileNotFoundError:
             return None
-        except OSError as exc:
+        except (OSError, UnicodeDecodeError) as exc:
+            # UnicodeDecodeError: binary garbage where JSON should be
+            # (bit rot, a crashed writer on a non-atomic filesystem).
             logger.warning("cache entry %s unreadable (%s); treating as miss", path, exc)
             return None
         try:
@@ -98,18 +100,6 @@ class CacheStore:
         """
         if not self.enabled:
             return
-        self.directory.mkdir(parents=True, exist_ok=True)
         text = json.dumps(payload, indent=1, sort_keys=True)
-        fd, tmp_name = tempfile.mkstemp(
-            prefix=f"{key}.", suffix=".tmp", dir=self.directory
-        )
-        try:
-            with os.fdopen(fd, "w") as handle:
-                handle.write(text)
-            os.replace(tmp_name, self._path(key))
-        except BaseException:
-            try:
-                os.unlink(tmp_name)
-            except OSError:
-                pass
-            raise
+        with atomic_write(self._path(key), "w") as handle:
+            handle.write(text)

@@ -32,7 +32,32 @@ from repro.experiments.results import RunOutcome, RunRecord
 from repro.experiments.scenario import Scenario
 from repro.metrics.summary import RunSummary, summarize
 from repro.sim.engine import SimulationSpec, run_spec
-from repro.workloads.catalog import BENCHMARKS
+from repro.workloads.catalog import BENCHMARKS, get_benchmark, is_known_benchmark
+
+
+def _runtime_workload_identity(name: str) -> dict | None:
+    """Content identity for runtime-registered workloads, else None.
+
+    Catalog and derived-catalog benchmarks are pure functions of the
+    code, so their *names* identify them and cached results stay valid
+    across processes.  A runtime registration
+    (:func:`~repro.workloads.catalog.register_benchmark` with
+    ``replace=True``, e.g. an ETF import) can bind different traces to
+    the same name over time — its trace payload (phase script or
+    column checksum) must therefore join the result-cache key, or a
+    re-registration would be served the previous trace's numbers.
+    """
+    if name in BENCHMARKS:
+        return None
+    from repro.workloads.derived import DERIVED_BENCHMARKS
+
+    if name in DERIVED_BENCHMARKS:
+        return None
+    try:
+        spec = get_benchmark(name)
+    except Exception:  # unknown name: let execution surface the error
+        return None
+    return spec.trace_payload()
 
 
 def benchmark_scale() -> float:
@@ -58,7 +83,7 @@ def quick_benchmarks(default: list[str] | None = None) -> list[str]:
             raise ExperimentError(
                 f"malformed REPRO_BENCHMARKS {env!r}: no benchmark names"
             )
-        unknown = [n for n in names if n not in BENCHMARKS]
+        unknown = [n for n in names if not is_known_benchmark(n)]
         if unknown:
             raise ExperimentError(
                 f"unknown benchmarks in REPRO_BENCHMARKS={env!r}: {unknown}"
@@ -123,16 +148,23 @@ class ExecutionContext:
         return self.seed if scenario.seed is None else scenario.seed
 
     def cache_key(self, scenario: Scenario) -> str:
-        """The content-addressed cache key of one scenario."""
-        return self.cache.key(
-            {
-                "benchmark": scenario.benchmark,
-                "configuration": scenario.configuration,
-                "scale": self.effective_scale(scenario),
-                "seed": self.effective_seed(scenario),
-                "overrides": [list(pair) for pair in scenario.overrides],
-            }
-        )
+        """The content-addressed cache key of one scenario.
+
+        For catalog/derived benchmarks the name is the identity; a
+        runtime-registered workload additionally contributes its trace
+        payload (see :func:`_runtime_workload_identity`).
+        """
+        payload = {
+            "benchmark": scenario.benchmark,
+            "configuration": scenario.configuration,
+            "scale": self.effective_scale(scenario),
+            "seed": self.effective_seed(scenario),
+            "overrides": [list(pair) for pair in scenario.overrides],
+        }
+        workload = _runtime_workload_identity(scenario.benchmark)
+        if workload is not None:
+            payload["workload"] = workload
+        return self.cache.key(payload)
 
     # --- execution ---------------------------------------------------------
     def run(self, scenario: Scenario) -> RunRecord:

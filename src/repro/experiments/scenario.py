@@ -15,7 +15,7 @@ from typing import Iterator, Mapping, Sequence
 
 from repro.errors import ExperimentError
 from repro.experiments.registry import CONFIGURATIONS
-from repro.workloads.catalog import BENCHMARKS
+from repro.workloads.catalog import is_known_benchmark
 
 
 def _freeze_overrides(
@@ -136,7 +136,7 @@ class Suite:
             raise ExperimentError(f"suite {self.name!r} has no configurations")
         if not self.seeds:
             raise ExperimentError(f"suite {self.name!r} has no seeds")
-        unknown = [b for b in self.benchmarks if b not in BENCHMARKS]
+        unknown = [b for b in self.benchmarks if not is_known_benchmark(b)]
         if unknown:
             raise ExperimentError(f"unknown benchmarks in suite: {unknown}")
         for configuration in self.configurations:

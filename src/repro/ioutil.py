@@ -1,0 +1,54 @@
+"""Crash-safe filesystem publication shared by every on-disk store.
+
+The result cache (:mod:`repro.experiments.cache`), the compiled-trace
+store (:mod:`repro.uarch.compiled_trace`) and the ETF exporter
+(:mod:`repro.uarch.etf`) all publish files the same way: write the full
+payload to a temporary file in the destination directory, then
+:func:`os.replace` it into place.  Readers — including concurrent
+orchestrator workers on other processes — therefore only ever observe
+complete files; the worst case under a crash is a stray ``*.tmp``,
+never a truncated entry.  This module is the single copy of that
+pattern.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+from contextlib import contextmanager
+from pathlib import Path
+from typing import IO, Iterator
+
+
+@contextmanager
+def atomic_write(path: Path | str, mode: str = "wb") -> Iterator[IO]:
+    """Open a handle whose contents appear at ``path`` atomically.
+
+    The destination directory is created if missing.  The handle writes
+    to a temporary sibling; on clean exit the file is renamed over
+    ``path`` in one :func:`os.replace`, and on any exception the
+    temporary is unlinked and the destination left untouched.
+
+    >>> import tempfile as _tf
+    >>> from pathlib import Path as _P
+    >>> target = _P(_tf.mkdtemp()) / "out.txt"
+    >>> with atomic_write(target, "w") as handle:
+    ...     _ = handle.write("complete")
+    >>> target.read_text()
+    'complete'
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp_name = tempfile.mkstemp(
+        prefix=f"{path.name}.", suffix=".tmp", dir=path.parent
+    )
+    try:
+        with os.fdopen(fd, mode) as handle:
+            yield handle
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise

@@ -11,13 +11,25 @@ The paper reports every result *relative* to a reference configuration
 """
 
 from repro.metrics.aggregate import AggregateResult, aggregate
-from repro.metrics.summary import Comparison, RunSummary, compare, summarize
+from repro.metrics.phases import PhaseSlice, attribute_phases
+from repro.metrics.summary import (
+    Comparison,
+    PhasedSummary,
+    RunSummary,
+    compare,
+    summarize,
+    summarize_phases,
+)
 
 __all__ = [
     "AggregateResult",
     "Comparison",
+    "PhaseSlice",
+    "PhasedSummary",
     "RunSummary",
     "aggregate",
+    "attribute_phases",
     "compare",
     "summarize",
+    "summarize_phases",
 ]

@@ -1,10 +1,11 @@
-"""Per-run summaries and pairwise comparisons."""
+"""Per-run summaries, per-phase breakdowns, and pairwise comparisons."""
 
 from __future__ import annotations
 
 from dataclasses import asdict, dataclass
 
 from repro.errors import SimulationError
+from repro.metrics.phases import PhaseSlice, attribute_phases
 from repro.uarch.core import CoreResult
 
 
@@ -40,6 +41,44 @@ def summarize(result: CoreResult) -> RunSummary:
         epi=result.epi,
         power=result.power,
         edp=result.energy_delay_product,
+    )
+
+
+@dataclass(frozen=True)
+class PhasedSummary:
+    """A run's headline scalars plus their per-phase attribution."""
+
+    summary: RunSummary
+    phases: tuple[PhaseSlice, ...]
+
+    def dominant_phase(self, by: str = "energy") -> PhaseSlice:
+        """The phase contributing most of ``by`` ('energy' or 'time')."""
+        if by not in ("energy", "time"):
+            raise SimulationError(f"dominant_phase: unknown metric {by!r}")
+        key = (lambda s: s.energy) if by == "energy" else (lambda s: s.wall_time_ns)
+        return max(self.phases, key=key)
+
+    def to_dict(self) -> dict:
+        """Plain-dict form (JSON artifacts)."""
+        return {
+            "summary": self.summary.to_dict(),
+            "phases": [asdict(s) for s in self.phases],
+        }
+
+
+def summarize_phases(
+    result: CoreResult, marks: list[tuple[str, int]]
+) -> PhasedSummary:
+    """Collapse a run into headline scalars plus a per-phase breakdown.
+
+    ``marks`` come from the workload's
+    :meth:`~repro.workloads.catalog.BenchmarkSpec.phase_marks` (at the
+    run's scale); the run should have been executed with
+    ``record_intervals=True`` for interval-granular attribution (see
+    :mod:`repro.metrics.phases`).
+    """
+    return PhasedSummary(
+        summary=summarize(result), phases=tuple(attribute_phases(result, marks))
     )
 
 

@@ -6,6 +6,7 @@ from typing import TYPE_CHECKING, Sequence
 
 if TYPE_CHECKING:  # annotation only; reporting stays import-light
     from repro.experiments.results import ResultSet
+    from repro.metrics.phases import PhaseSlice
 
 
 def format_table(
@@ -53,6 +54,45 @@ def format_table(
     lines.append("  ".join("-" * w for w in widths))
     lines.extend(fmt_row(row) for row in cells)
     return "\n".join(lines)
+
+
+def phase_table(slices: Sequence["PhaseSlice"], title: str | None = None) -> str:
+    """Render a per-phase attribution breakdown as a table.
+
+    One row per :class:`~repro.metrics.phases.PhaseSlice`, plus a
+    totals rule; shares are percentages of the whole run.
+    """
+    rows = []
+    for s in slices:
+        rows.append(
+            (
+                s.name,
+                f"{s.instructions:,}",
+                f"{s.wall_time_ns:,.0f}",
+                f"{s.time_share:.1%}",
+                f"{s.energy:,.0f}",
+                f"{s.energy_share:.1%}",
+                f"{s.cpi:.3f}",
+                f"{s.epi:.3f}",
+            )
+        )
+    rows.append(
+        (
+            "TOTAL",
+            f"{sum(s.instructions for s in slices):,}",
+            f"{sum(s.wall_time_ns for s in slices):,.0f}",
+            f"{sum(s.time_share for s in slices):.1%}",
+            f"{sum(s.energy for s in slices):,.0f}",
+            f"{sum(s.energy_share for s in slices):.1%}",
+            "-",
+            "-",
+        )
+    )
+    return format_table(
+        ["Phase", "Instr", "Time (ns)", "Time %", "Energy", "Energy %", "CPI", "EPI"],
+        rows,
+        title=title,
+    )
 
 
 def resultset_table(results: "ResultSet", title: str | None = None) -> str:

@@ -557,13 +557,14 @@ run_compiled(PyObject *self, PyObject *args)
                 q_occ[1] = q_occ[2] = q_occ[3] = 0;
                 if (call_rollover) {
                     PyObject *cb_res = PyObject_CallFunction(
-                        rollover, "LLddLLLLLLL",
+                        rollover, "LLddLLLLLLLL",
                         (long long)(interval_index - 1), (long long)retired,
                         t, duration, (long long)occ1, (long long)occ2,
                         (long long)occ3, (long long)busy_in_interval[0],
                         (long long)busy_in_interval[1],
                         (long long)busy_in_interval[2],
-                        (long long)busy_in_interval[3]);
+                        (long long)busy_in_interval[3],
+                        (long long)memory_accesses);
                     if (cb_res == NULL)
                         goto fail;
                     Py_DECREF(cb_res);

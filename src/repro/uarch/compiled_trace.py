@@ -47,14 +47,14 @@ from __future__ import annotations
 import hashlib
 import json
 import logging
-import os
-import tempfile
+import zipfile
 from pathlib import Path
 from typing import Iterator
 
 import numpy as np
 
 from repro.errors import TraceError
+from repro.ioutil import atomic_write
 from repro.uarch.isa import DEST_REGISTER_TYPE, ISSUE_DOMAIN_INDEX, NUM_CLASSES
 from repro.uarch.trace import InstructionBlock, TraceStream
 
@@ -298,7 +298,11 @@ class TraceStore:
     def load(self, key: str, line_shift: int) -> CompiledTrace | None:
         """The stored trace under ``key`` derived for ``line_shift``.
 
-        A present-but-unreadable entry counts as a miss and is logged.
+        A present-but-unreadable entry counts as a miss and is logged,
+        never raised: a truncated ``.npz`` (``zipfile.BadZipFile`` /
+        ``EOFError``), bit-rotted bytes, missing columns or mismatched
+        lengths all fall back to regeneration, because every entry is
+        a pure function of its key's identity payload.
         """
         if not self.enabled:
             return None
@@ -306,9 +310,12 @@ class TraceStore:
         try:
             with np.load(path) as data:
                 columns = tuple(data[name] for name in _BASE_COLUMNS)
+            n = len(columns[0])
+            if any(len(column) != n for column in columns[1:]):
+                raise ValueError("mismatched column lengths")
         except FileNotFoundError:
             return None
-        except (OSError, KeyError, ValueError) as exc:
+        except (OSError, KeyError, ValueError, EOFError, zipfile.BadZipFile) as exc:
             logger.warning(
                 "trace entry %s unreadable (%s); treating as miss", path, exc
             )
@@ -319,27 +326,15 @@ class TraceStore:
         """Atomically persist base ``columns`` under ``key``."""
         if not self.enabled:
             return
-        self.directory.mkdir(parents=True, exist_ok=True)
         kinds, src1, src2, pcs, addrs, taken, targets = columns
-        fd, tmp_name = tempfile.mkstemp(
-            prefix=f"{key}.", suffix=".tmp", dir=self.directory
-        )
-        try:
-            with os.fdopen(fd, "wb") as handle:
-                np.savez(
-                    handle,
-                    kinds=kinds.astype(np.uint8),
-                    src1=src1.astype(np.uint16),
-                    src2=src2.astype(np.uint16),
-                    pcs=pcs.astype(np.int64),
-                    addrs=addrs.astype(np.int64),
-                    taken=taken.astype(np.uint8),
-                    targets=targets.astype(np.int64),
-                )
-            os.replace(tmp_name, self._path(key))
-        except BaseException:
-            try:
-                os.unlink(tmp_name)
-            except OSError:
-                pass
-            raise
+        with atomic_write(self._path(key)) as handle:
+            np.savez(
+                handle,
+                kinds=kinds.astype(np.uint8),
+                src1=src1.astype(np.uint16),
+                src2=src2.astype(np.uint16),
+                pcs=pcs.astype(np.int64),
+                addrs=addrs.astype(np.int64),
+                taken=taken.astype(np.uint8),
+                targets=targets.astype(np.int64),
+            )

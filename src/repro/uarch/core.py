@@ -127,7 +127,13 @@ class CoreOptions:
 
 @dataclass
 class IntervalRecord:
-    """One control interval's observables (for figure benches)."""
+    """One control interval's observables (for figure benches).
+
+    ``energy`` and ``memory_accesses`` are *cumulative* run totals at
+    the interval's end edge (chip energy including off-chip accesses),
+    sampled identically by all three execution paths; per-phase metric
+    attribution (:mod:`repro.metrics.phases`) differences them.
+    """
 
     index: int
     end_instruction: int
@@ -135,6 +141,8 @@ class IntervalRecord:
     ipc: float
     queue_utilization: dict[Domain, float]
     frequencies_mhz: dict[Domain, float]
+    energy: float = 0.0
+    memory_accesses: int = 0
 
 
 @dataclass
@@ -664,8 +672,11 @@ class MCDCore:
 
         intervals: list[IntervalRecord] = []
 
+        e_mem = self.energies.memory_access
+
         def rollover(
-            index, retired, t, duration, occ1, occ2, occ3, b0, b1, b2, b3
+            index, retired, t, duration, occ1, occ2, occ3, b0, b1, b2, b3,
+            mem_accesses,
         ):
             """Per-interval callback: snapshot, controller, recording."""
             qutil = {
@@ -710,6 +721,9 @@ class MCDCore:
                         reg_cur[i] = regulators[i].current_mhz
                         reg_tgt[i] = regulators[i].target_mhz
             if record_trace:
+                # The C loop accumulates energy in these shared buffers
+                # in place, so they are live here; the sum below mirrors
+                # the Python paths' accumulation order exactly.
                 intervals.append(
                     IntervalRecord(
                         index=index,
@@ -718,6 +732,14 @@ class MCDCore:
                         ipc=ipc,
                         queue_utilization=qutil,
                         frequencies_mhz=freqs,
+                        energy=(
+                            float(acc_clock[0]) + float(acc_clock[1])
+                            + float(acc_clock[2]) + float(acc_clock[3])
+                            + float(acc_struct[0]) + float(acc_struct[1])
+                            + float(acc_struct[2]) + float(acc_struct[3])
+                            + mem_accesses * e_mem
+                        ),
+                        memory_accesses=mem_accesses,
                     )
                 )
             return None
@@ -900,6 +922,7 @@ class MCDCore:
         fp_regs = self.fp_regs
         hierarchy = self.hierarchy
         predictor = self.predictor
+        e_mem = self.energies.memory_access
         mem_level_l1 = MemoryLevel.L1
         mem_level_l2 = MemoryLevel.L2
 
@@ -1065,6 +1088,14 @@ class MCDCore:
                                     ipc=ipc,
                                     queue_utilization=qutil,
                                     frequencies_mhz=freqs,
+                                    energy=(
+                                        acc_clock[0] + acc_clock[1]
+                                        + acc_clock[2] + acc_clock[3]
+                                        + acc_struct[0] + acc_struct[1]
+                                        + acc_struct[2] + acc_struct[3]
+                                        + memory_accesses * e_mem
+                                    ),
+                                    memory_accesses=memory_accesses,
                                 )
                             )
                     busy_in_interval = [0, 0, 0, 0]
@@ -1389,6 +1420,7 @@ class MCDCore:
         controller = self.controller
         hierarchy = self.hierarchy
         predictor = self.predictor
+        e_mem = self.energies.memory_access
 
         # --- inlined cache hierarchy (tag state + local stat counters) ----
         shift = hierarchy.l1i.line_shift
@@ -1626,6 +1658,14 @@ class MCDCore:
                                     ipc=ipc,
                                     queue_utilization=qutil,
                                     frequencies_mhz=freqs,
+                                    energy=(
+                                        acc_clock[0] + acc_clock[1]
+                                        + acc_clock[2] + acc_clock[3]
+                                        + acc_struct[0] + acc_struct[1]
+                                        + acc_struct[2] + acc_struct[3]
+                                        + memory_accesses * e_mem
+                                    ),
+                                    memory_accesses=memory_accesses,
                                 )
                             )
                     busy_in_interval = [0, 0, 0, 0]

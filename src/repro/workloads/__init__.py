@@ -12,8 +12,11 @@ substitution #1).
 from repro.workloads.catalog import (
     BENCHMARKS,
     BenchmarkSpec,
+    all_benchmarks,
     benchmark_names,
     get_benchmark,
+    is_known_benchmark,
+    register_benchmark,
 )
 from repro.workloads.phases import Phase
 from repro.workloads.synthetic import SyntheticTrace
@@ -23,6 +26,9 @@ __all__ = [
     "BenchmarkSpec",
     "Phase",
     "SyntheticTrace",
+    "all_benchmarks",
     "benchmark_names",
     "get_benchmark",
+    "is_known_benchmark",
+    "register_benchmark",
 ]

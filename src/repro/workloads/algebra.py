@@ -1,0 +1,303 @@
+"""Composition algebra over benchmark phase scripts.
+
+The 30 catalog entries are points; this module supplies the operators
+that turn them into a space.  Every operator consumes and produces
+:class:`~repro.workloads.catalog.BenchmarkSpec` values, so a composed
+workload is indistinguishable from a hand-written catalog entry
+downstream: it builds the same seeded
+:class:`~repro.workloads.synthetic.SyntheticTrace`, content-addresses
+into the same compiled-trace store (its full phase parameterisation is
+the identity, see :meth:`BenchmarkSpec.trace_payload`), and runs
+through all three byte-identical core paths.
+
+Operators
+---------
+``concat(a, b, ...)``
+    Play the operands' phase scripts back to back.
+``interleave(a, b, quantum)``
+    Alternate ``quantum``-instruction slices of the operands' scripts —
+    the phase-thrash generator (rapid behaviour changes are what stress
+    the Attack/Decay controller's attack mode).
+``repeat(spec, times)``
+    Loop one script, multiplying its phase transitions.
+``scale(spec, factor)``
+    Stretch or compress every phase's dynamic length.
+``perturb(spec, seed, strength)``
+    Deterministically jitter the statistical knobs of every phase
+    (locality, dependency structure, branchiness) within their legal
+    ranges — cheap workload families from one ancestor.
+``splice(spec, insert, at)``
+    Cut ``spec``'s script at an instruction offset (splitting the
+    phase under the cut) and insert another script there — isolated
+    bursts in an otherwise stationary region, the Figure 3 shape.
+
+All operators validate their arguments and raise
+:class:`~repro.errors.WorkloadError` on misuse.  Composition is pure:
+no operator mutates its operands.
+"""
+
+from __future__ import annotations
+
+from dataclasses import fields as dataclass_fields
+from dataclasses import replace
+
+import numpy as np
+
+from repro.errors import WorkloadError
+from repro.workloads.catalog import CATALOG_INTERVAL_INSTRUCTIONS, BenchmarkSpec
+from repro.workloads.phases import Phase
+
+__all__ = [
+    "concat",
+    "interleave",
+    "repeat",
+    "scale",
+    "perturb",
+    "splice",
+    "split_phase",
+    "derived_spec",
+]
+
+#: Derived specs carry this suite label so listings can tell them from
+#: the hand-tuned Table 5 entries.
+DERIVED_SUITE = "Derived"
+
+
+def derived_spec(
+    name: str,
+    phases: list[Phase] | tuple[Phase, ...],
+    seed: int,
+    describe: str = "",
+    interval_instructions: int = CATALOG_INTERVAL_INSTRUCTIONS,
+) -> BenchmarkSpec:
+    """Package a phase script as a runnable derived benchmark.
+
+    The paper-identity fields (window, weight) are synthesised from the
+    script itself; ``describe`` records the composition for listings.
+    """
+    if not phases:
+        raise WorkloadError(f"{name}: a derived benchmark needs at least one phase")
+    total = sum(p.instructions for p in phases)
+    return BenchmarkSpec(
+        name=name,
+        suite=DERIVED_SUITE,
+        datasets=describe or "composed",
+        paper_window="-",
+        paper_minstructions=total / 1e6,
+        phases=tuple(phases),
+        seed=seed,
+        interval_instructions=interval_instructions,
+    )
+
+
+def _rename(phase: Phase, label: str) -> Phase:
+    """A copy of ``phase`` carrying a composition-scoped name."""
+    return replace(phase, name=f"{label}.{phase.name}")
+
+
+def concat(*specs: BenchmarkSpec, name: str | None = None) -> BenchmarkSpec:
+    """Play the operands back to back.
+
+    >>> from repro.workloads.catalog import get_benchmark
+    >>> both = concat(get_benchmark("adpcm"), get_benchmark("gsm"))
+    >>> both.sim_instructions == (
+    ...     get_benchmark("adpcm").sim_instructions
+    ...     + get_benchmark("gsm").sim_instructions
+    ... )
+    True
+    """
+    if len(specs) < 2:
+        raise WorkloadError("concat needs at least two operands")
+    phases: list[Phase] = []
+    for spec in specs:
+        phases.extend(_rename(p, spec.name) for p in spec.phases)
+    label = name or "+".join(s.name for s in specs)
+    seed = sum(s.seed for s in specs) % (1 << 30)
+    return derived_spec(
+        label, phases, seed, describe=f"concat({', '.join(s.name for s in specs)})"
+    )
+
+
+def repeat(spec: BenchmarkSpec, times: int, name: str | None = None) -> BenchmarkSpec:
+    """Loop one script ``times`` times (multiplying its transitions)."""
+    if times < 1:
+        raise WorkloadError(f"repeat: times must be >= 1, got {times}")
+    phases: list[Phase] = []
+    for i in range(times):
+        phases.extend(_rename(p, f"r{i}") for p in spec.phases)
+    return derived_spec(
+        name or f"{spec.name}x{times}",
+        phases,
+        spec.seed,
+        describe=f"repeat({spec.name}, {times})",
+    )
+
+
+def scale(
+    spec: BenchmarkSpec, factor: float, name: str | None = None
+) -> BenchmarkSpec:
+    """Stretch (or compress) every phase's dynamic length by ``factor``."""
+    if factor <= 0:
+        raise WorkloadError(f"scale: factor must be positive, got {factor}")
+    phases = [p.scaled(factor) for p in spec.phases]
+    return derived_spec(
+        name or f"{spec.name}*{factor:g}",
+        phases,
+        spec.seed,
+        describe=f"scale({spec.name}, {factor:g})",
+    )
+
+
+def split_phase(phase: Phase, at: int) -> tuple[Phase, Phase]:
+    """Cut one phase into a head of ``at`` instructions and the tail.
+
+    Both halves keep the phase's stationary statistics; only the
+    lengths change.
+
+    >>> from repro.workloads.phases import INT_COMPUTE_MIX
+    >>> head, tail = split_phase(Phase("p", 100, INT_COMPUTE_MIX), 30)
+    >>> head.instructions, tail.instructions
+    (30, 70)
+    """
+    if not 0 < at < phase.instructions:
+        raise WorkloadError(
+            f"split_phase: cut {at} outside (0, {phase.instructions})"
+        )
+    return (
+        replace(phase, instructions=at),
+        replace(phase, instructions=phase.instructions - at),
+    )
+
+
+def _take(phases: list[Phase], budget: int) -> tuple[list[Phase], list[Phase]]:
+    """Split a script at an instruction ``budget`` (splitting one phase)."""
+    taken: list[Phase] = []
+    rest = list(phases)
+    while budget > 0 and rest:
+        head = rest[0]
+        if head.instructions <= budget:
+            taken.append(head)
+            budget -= head.instructions
+            rest.pop(0)
+        else:
+            first, second = split_phase(head, budget)
+            taken.append(first)
+            rest[0] = second
+            budget = 0
+    return taken, rest
+
+
+def interleave(
+    a: BenchmarkSpec,
+    b: BenchmarkSpec,
+    quantum: int = 4000,
+    name: str | None = None,
+) -> BenchmarkSpec:
+    """Alternate ``quantum``-instruction slices of the two scripts.
+
+    Both scripts run to completion: when one side exhausts, the other's
+    remainder plays out uninterrupted.  The result's length is the sum
+    of the operands' lengths; what changes is the *rate of phase
+    change*, which is exactly the quantity the Attack/Decay controller
+    reacts to.
+    """
+    if quantum < 1:
+        raise WorkloadError(f"interleave: quantum must be >= 1, got {quantum}")
+    left = [_rename(p, a.name) for p in a.phases]
+    right = [_rename(p, b.name) for p in b.phases]
+    phases: list[Phase] = []
+    turn_left = True
+    while left or right:
+        source = left if (turn_left and left) or not right else right
+        taken, rest = _take(source, quantum)
+        phases.extend(taken)
+        if source is left:
+            left = rest
+        else:
+            right = rest
+        turn_left = not turn_left
+    return derived_spec(
+        name or f"{a.name}~{b.name}",
+        phases,
+        (a.seed * 31 + b.seed) % (1 << 30),
+        describe=f"interleave({a.name}, {b.name}, q={quantum})",
+    )
+
+
+def splice(
+    spec: BenchmarkSpec,
+    insert: BenchmarkSpec,
+    at: int,
+    name: str | None = None,
+) -> BenchmarkSpec:
+    """Insert ``insert``'s script at instruction offset ``at`` of ``spec``."""
+    total = spec.sim_instructions
+    if not 0 < at < total:
+        raise WorkloadError(f"splice: offset {at} outside (0, {total})")
+    head, tail = _take([_rename(p, spec.name) for p in spec.phases], at)
+    middle = [_rename(p, insert.name) for p in insert.phases]
+    return derived_spec(
+        name or f"{spec.name}^{insert.name}",
+        head + middle + tail,
+        (spec.seed * 17 + insert.seed) % (1 << 30),
+        describe=f"splice({spec.name}, {insert.name}, at={at})",
+    )
+
+
+#: Phase knobs perturb() jitters, with their legal ranges.  Fractions
+#: move additively, footprints/distances multiplicatively.
+_PERTURB_FRACTIONS = (
+    ("dep_density", 0.0, 1.0),
+    ("stride_fraction", 0.0, 1.0),
+    ("far_miss_fraction", 0.0, 0.5),
+    ("branch_noise", 0.0, 0.5),
+    ("branch_taken_prob", 0.0, 1.0),
+)
+_PERTURB_SCALES = (
+    ("dep_mean_distance", 1.0, 64.0),
+    ("working_set_kb", 1, 8192),
+    ("loop_dwell_instructions", 16, 1_000_000),
+)
+
+
+def perturb(
+    spec: BenchmarkSpec,
+    seed: int,
+    strength: float = 0.25,
+    name: str | None = None,
+) -> BenchmarkSpec:
+    """Deterministically jitter every phase's statistical knobs.
+
+    ``strength`` sets the jitter amplitude: fraction-valued knobs move
+    by up to ``±strength/2`` additively, footprint/distance knobs by a
+    factor in ``[1/(1+strength), 1+strength]``.  All values are clipped
+    to their legal ranges, so the result is always a valid workload.
+    The same (spec, seed, strength) triple always yields the same
+    perturbation.
+    """
+    if strength <= 0:
+        raise WorkloadError(f"perturb: strength must be positive, got {strength}")
+    rng = np.random.default_rng(seed)
+    phases: list[Phase] = []
+    numeric = {f.name for f in dataclass_fields(Phase)}
+    for phase in spec.phases:
+        changes: dict[str, float | int] = {}
+        for field_name, lo, hi in _PERTURB_FRACTIONS:
+            assert field_name in numeric
+            value = getattr(phase, field_name)
+            value += float(rng.uniform(-strength / 2, strength / 2))
+            changes[field_name] = min(hi, max(lo, value))
+        for field_name, lo, hi in _PERTURB_SCALES:
+            value = getattr(phase, field_name)
+            factor = float(rng.uniform(1.0 / (1.0 + strength), 1.0 + strength))
+            scaled_value = value * factor
+            if isinstance(value, int):
+                scaled_value = round(scaled_value)
+            changes[field_name] = min(hi, max(lo, scaled_value))
+        phases.append(replace(phase, **changes))
+    return derived_spec(
+        name or f"{spec.name}?{seed}",
+        phases,
+        (spec.seed + seed * 7919) % (1 << 30),
+        describe=f"perturb({spec.name}, seed={seed}, strength={strength:g})",
+    )

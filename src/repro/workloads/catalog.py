@@ -62,6 +62,26 @@ class BenchmarkSpec:
             phases = tuple(p.scaled(scale) for p in phases)
         return SyntheticTrace(list(phases), seed=self.seed + seed_offset)
 
+    def phase_marks(self, scale: float = 1.0) -> list[tuple[str, int]]:
+        """Per-phase ``(name, end_instruction)`` boundaries of the built trace.
+
+        The boundaries match :meth:`build_trace` for the same ``scale``
+        (cumulative over the scaled phase lengths), so per-phase metric
+        attribution (:mod:`repro.metrics.phases`) lines up with the
+        instruction stream exactly.
+        """
+        phases = self.phases
+        if scale != 1.0:
+            if scale <= 0:
+                raise WorkloadError("scale must be positive")
+            phases = tuple(p.scaled(scale) for p in phases)
+        marks: list[tuple[str, int]] = []
+        total = 0
+        for phase in phases:
+            total += phase.instructions
+            marks.append((phase.name, total))
+        return marks
+
     def trace_payload(self, scale: float = 1.0, seed_offset: int = 0) -> dict:
         """JSON-serialisable identity of the trace :meth:`build_trace` makes.
 
@@ -544,18 +564,101 @@ def _build_catalog() -> dict[str, BenchmarkSpec]:
 #: All thirty benchmarks, keyed by name.
 BENCHMARKS: dict[str, BenchmarkSpec] = _build_catalog()
 
+#: Runtime registrations beyond Table 5: the derived scenario catalog
+#: (:mod:`repro.workloads.derived`, loaded lazily) plus anything the
+#: session registers (imported external traces, ad-hoc compositions).
+_EXTRA_BENCHMARKS: dict[str, BenchmarkSpec] = {}
+_derived_loaded = False
+
+
+def _load_derived() -> None:
+    """Populate the registry with the derived catalog (idempotent).
+
+    The loaded flag is only set once the import *succeeds*: a failed
+    load (an error in a derived composition) surfaces on every call
+    rather than leaving the registry silently partial.  Re-entrant
+    calls during the import itself are satisfied from ``sys.modules``.
+    """
+    global _derived_loaded
+    if not _derived_loaded:
+        # Imported for its registration side effect; the module calls
+        # register_benchmark for every derived scenario.
+        import repro.workloads.derived  # noqa: F401
+
+        _derived_loaded = True
+
+
+def register_benchmark(spec: BenchmarkSpec, replace: bool = False) -> BenchmarkSpec:
+    """Register a runnable workload under its name.
+
+    Anything with the :class:`BenchmarkSpec` surface (``build_trace``,
+    ``trace_payload``, ``phase_marks``, ``interval_instructions``)
+    qualifies — composed specs from :mod:`repro.workloads.algebra`,
+    imported external traces (:mod:`repro.uarch.etf`).  Table 5 and
+    derived-catalog names are reserved; re-registering another name
+    requires ``replace``.
+    """
+    name = spec.name
+    if name in BENCHMARKS:
+        raise WorkloadError(f"cannot shadow catalog benchmark {name!r}")
+    # Resolve the derived catalog first so its names are claimed before
+    # any runtime registration can squat on them (during the derived
+    # import itself this is satisfied from sys.modules and the in-flight
+    # entries land below, marked replaceable).
+    _load_derived()
+    if name in _EXTRA_BENCHMARKS and not replace:
+        raise WorkloadError(f"benchmark {name!r} is already registered")
+    _EXTRA_BENCHMARKS[name] = spec
+    return spec
+
+
+def all_benchmarks() -> dict[str, BenchmarkSpec]:
+    """Every runnable workload: catalog, derived, and registered."""
+    _load_derived()
+    return {**BENCHMARKS, **_EXTRA_BENCHMARKS}
+
+
+def is_known_benchmark(name: str) -> bool:
+    """Whether ``name`` resolves to a runnable workload."""
+    if name in BENCHMARKS:
+        return True
+    _load_derived()
+    return name in _EXTRA_BENCHMARKS
+
 
 def benchmark_names(suite: str | None = None) -> list[str]:
-    """Names of all benchmarks, optionally filtered by suite prefix."""
+    """Names of the Table 5 benchmarks, optionally filtered by suite prefix.
+
+    Derived and registered workloads are intentionally excluded — the
+    paper's tables and suite averages cover the catalog only.  Use
+    :func:`all_benchmarks` for the full runnable namespace.
+    """
     if suite is None:
         return list(BENCHMARKS)
     return [n for n, s in BENCHMARKS.items() if s.suite.startswith(suite)]
 
 
-def get_benchmark(name: str) -> BenchmarkSpec:
-    """Look up a benchmark; raises :class:`WorkloadError` if unknown."""
+def get_catalog_benchmark(name: str) -> BenchmarkSpec:
+    """Look up a Table 5 entry only (no derived/registered names)."""
     try:
         return BENCHMARKS[name]
     except KeyError:
         known = ", ".join(sorted(BENCHMARKS))
         raise WorkloadError(f"unknown benchmark {name!r}; known: {known}") from None
+
+
+def get_benchmark(name: str) -> BenchmarkSpec:
+    """Look up any runnable workload; raises :class:`WorkloadError` if unknown.
+
+    Resolution order: the Table 5 catalog, then the derived scenario
+    catalog and runtime registrations (:func:`register_benchmark`).
+    """
+    spec = BENCHMARKS.get(name)
+    if spec is not None:
+        return spec
+    _load_derived()
+    spec = _EXTRA_BENCHMARKS.get(name)
+    if spec is not None:
+        return spec
+    known = ", ".join(sorted(BENCHMARKS) + sorted(_EXTRA_BENCHMARKS))
+    raise WorkloadError(f"unknown benchmark {name!r}; known: {known}") from None

@@ -149,6 +149,120 @@ class TestTraceStore:
         assert a != b
 
 
+class TestTraceStoreCorruption:
+    """Injected on-disk damage must mean recompute, never a crash.
+
+    A truncated ``.npz`` raises ``zipfile.BadZipFile`` (not OSError)
+    from ``np.load`` — the exact failure a killed orchestrator worker
+    or full disk leaves behind — so these tests damage real entries in
+    every representative way and assert the store falls back to a miss
+    and the engine regenerates identical results.
+    """
+
+    def _stored(self, tmp_path):
+        store = TraceStore(tmp_path)
+        columns = trace_columns(get_benchmark("adpcm").build_trace(scale=SCALE))
+        key = store.key({"benchmark": "adpcm", "scale": SCALE})
+        store.store(key, columns)
+        return store, key, tmp_path / f"{key}.npz"
+
+    def test_truncated_entry_is_a_miss(self, tmp_path):
+        store, key, path = self._stored(tmp_path)
+        data = path.read_bytes()
+        path.write_bytes(data[: len(data) // 2])
+        assert store.load(key, LINE_SHIFT) is None
+
+    def test_tail_truncated_entry_is_a_miss(self, tmp_path):
+        # Cut inside the zip central directory rather than a member.
+        store, key, path = self._stored(tmp_path)
+        data = path.read_bytes()
+        path.write_bytes(data[:-20])
+        assert store.load(key, LINE_SHIFT) is None
+
+    def test_bitflipped_entry_is_a_miss_or_loads(self, tmp_path):
+        # Flipping bytes mid-archive corrupts a member's zlib stream.
+        store, key, path = self._stored(tmp_path)
+        data = bytearray(path.read_bytes())
+        mid = len(data) // 2
+        for i in range(mid, mid + 64):
+            data[i] ^= 0xFF
+        path.write_bytes(bytes(data))
+        store.load(key, LINE_SHIFT)  # must not raise
+
+    def test_missing_column_is_a_miss(self, tmp_path):
+        import numpy as np
+
+        store, key, path = self._stored(tmp_path)
+        with np.load(path) as data:
+            partial = {k: data[k] for k in list(data.files)[:-1]}
+        np.savez(path, **partial)
+        assert store.load(key, LINE_SHIFT) is None
+
+    def test_mismatched_lengths_are_a_miss(self, tmp_path):
+        import numpy as np
+
+        store, key, path = self._stored(tmp_path)
+        with np.load(path) as data:
+            damaged = {k: data[k] for k in data.files}
+        damaged["pcs"] = damaged["pcs"][:-5]
+        np.savez(path, **damaged)
+        assert store.load(key, LINE_SHIFT) is None
+
+    def test_empty_file_is_a_miss(self, tmp_path):
+        store, key, path = self._stored(tmp_path)
+        path.write_bytes(b"")
+        assert store.load(key, LINE_SHIFT) is None
+
+    def test_engine_recomputes_through_corruption(self, tmp_path, monkeypatch):
+        """End to end: corrupt the shared store entry, run_spec still works."""
+        import repro.sim.engine as engine
+
+        store = TraceStore(tmp_path)
+        monkeypatch.setattr(engine, "_TRACE_STORE", store)
+        monkeypatch.setattr(engine, "_TRACE_MEMO", type(engine._TRACE_MEMO)())
+        spec = SimulationSpec(benchmark="adpcm", scale=SCALE, seed=2)
+        first = summarize(run_spec(spec))
+        entries = list(tmp_path.glob("*.npz"))
+        assert entries, "run should have populated the store"
+        for entry in entries:
+            data = entry.read_bytes()
+            entry.write_bytes(data[: len(data) // 3])
+        monkeypatch.setattr(engine, "_TRACE_MEMO", type(engine._TRACE_MEMO)())
+        again = summarize(run_spec(spec))
+        assert again == first
+
+
+class TestResultCacheCorruption:
+    """CacheStore: binary garbage and truncation are misses, not crashes."""
+
+    def test_binary_garbage_is_a_miss(self, tmp_path):
+        from repro.experiments.cache import CacheStore
+
+        store = CacheStore(tmp_path)
+        key = store.key({"x": 1})
+        store.store(key, {"value": 42})
+        (tmp_path / f"{key}.json").write_bytes(b"\xff\xfe\x00garbage\x80")
+        assert store.load(key) is None
+
+    def test_truncated_json_is_a_miss(self, tmp_path):
+        from repro.experiments.cache import CacheStore
+
+        store = CacheStore(tmp_path)
+        key = store.key({"x": 2})
+        store.store(key, {"value": [1, 2, 3]})
+        path = tmp_path / f"{key}.json"
+        path.write_text(path.read_text()[:10])
+        assert store.load(key) is None
+
+    def test_wrong_shape_is_a_miss(self, tmp_path):
+        from repro.experiments.cache import CacheStore
+
+        store = CacheStore(tmp_path)
+        key = store.key({"x": 3})
+        (tmp_path / f"{key}.json").write_text("[1, 2, 3]")
+        assert store.load(key) is None
+
+
 # ------------------------------------------------------------ equivalence
 class TestEquivalence:
     """Compiled and generator paths produce identical CoreResults."""
