@@ -1,0 +1,195 @@
+"""Closed-loop control benchmark — runs/sec across the three paths.
+
+The paper's headline numbers come from the *closed-loop* configuration
+(the Attack/Decay controller driving per-domain DVFS), so this bench
+measures exactly that: a warmed `MCDCore.run()` under the controller,
+with no interval recording, on each execution path:
+
+* ``generator`` — per-instruction reference path, controller in Python;
+* ``python``    — batched loop over the compiled trace, controller in
+  Python;
+* ``native``    — C loop with the controller run *inside* C (zero
+  per-interval Python crossings; skipped when no compiler is
+  available).
+
+Every measurement also asserts the paths' ``RunSummary`` dictionaries
+are byte-identical — a closed-loop speedup that computes different
+control decisions would be worthless.
+
+Results land in ``results/bench_control_loop.json`` and the baseline
+table in ``docs/performance.md``.  Knobs: ``REPRO_SCALE``,
+``REPRO_BENCHMARKS``.  The acceptance floor (native closed-loop at
+least ``NATIVE_FLOOR``x the batched-Python closed-loop) is asserted
+under pytest and by ``--check-floor``:
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_control_loop.py -s
+    PYTHONPATH=src python benchmarks/bench_control_loop.py --check-floor
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+
+if str(Path(__file__).resolve().parent) not in sys.path:
+    sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from conftest import save_results
+
+from repro.config.algorithm import SCALED_OPERATING_POINT
+from repro.config.processor import ProcessorConfig
+from repro.control.attack_decay import AttackDecayController
+from repro.experiments.executor import benchmark_scale, quick_benchmarks
+from repro.metrics.summary import summarize
+from repro.sim.engine import compiled_trace_for, scaled_mcd_config
+from repro.uarch.core import CoreOptions, MCDCore
+from repro.uarch.native import load_hotpath
+from repro.workloads.catalog import get_benchmark
+
+#: Same representative slice as the open-loop hot-path bench.
+CONTROL_BENCHMARKS = ["adpcm", "epic", "gcc", "swim", "mcf"]
+
+#: Acceptance floor: native closed-loop throughput over the batched
+#: Python closed-loop path.
+NATIVE_FLOOR = 3.0
+
+
+def _closed_loop_run(bench, trace, path: str):
+    """One warmed closed-loop run; returns (CoreResult, seconds)."""
+    core = MCDCore(
+        processor=ProcessorConfig(),
+        mcd_config=scaled_mcd_config(),
+        trace=trace,
+        controller=AttackDecayController(SCALED_OPERATING_POINT),
+        options=CoreOptions(
+            mcd=True,
+            seed=1,
+            interval_instructions=bench.interval_instructions,
+        ),
+    )
+    core.warm_up(trace, limit=trace.total_instructions)
+    start = time.perf_counter()
+    result = core.run(path=path)
+    return result, time.perf_counter() - start
+
+
+def _best_of(bench, trace, path: str, repeats: int = 3):
+    """Fastest of ``repeats`` timed runs (noise-robust)."""
+    best = None
+    result = None
+    for _ in range(repeats):
+        result, elapsed = _closed_loop_run(bench, trace, path)
+        if best is None or elapsed < best:
+            best = elapsed
+    return result, best
+
+
+def run_bench(check_floor: bool = False) -> dict:
+    """Measure all available paths; returns the saved results payload."""
+    scale = benchmark_scale()
+    names = quick_benchmarks(default=CONTROL_BENCHMARKS)
+    native = load_hotpath() is not None
+    if check_floor and not native:
+        raise SystemExit(
+            "bench_control_loop: --check-floor needs the native loop, "
+            "but no C compiler is available"
+        )
+    line_shift = ProcessorConfig().line_bytes.bit_length() - 1
+    paths = ["generator", "python"] + (["native"] if native else [])
+
+    rows = []
+    total_instr = 0
+    totals = {path: 0.0 for path in paths}
+    for name in names:
+        bench = get_benchmark(name)
+        generator_trace = bench.build_trace(scale=scale)
+        compiled = compiled_trace_for(bench, scale=scale, line_shift=line_shift)
+        results = {}
+        seconds = {}
+        for path in paths:
+            trace = generator_trace if path == "generator" else compiled
+            results[path], seconds[path] = _best_of(bench, trace, path)
+        reference = summarize(results["generator"]).to_dict()
+        for path in paths[1:]:
+            assert summarize(results[path]).to_dict() == reference, (
+                f"{name}: closed-loop {path} path diverged from the generator"
+            )
+        instructions = results["generator"].instructions
+        total_instr += instructions
+        row = {"benchmark": name, "instructions": instructions}
+        for path in paths:
+            totals[path] += seconds[path]
+            row[f"{path}_ips"] = instructions / seconds[path]
+        if native:
+            row["native_vs_python"] = seconds["python"] / seconds["native"]
+        rows.append(row)
+
+    aggregate = {
+        f"{path}_ips": total_instr / totals[path] for path in paths
+    }
+    aggregate["python_vs_generator"] = totals["generator"] / totals["python"]
+    if native:
+        aggregate["native_vs_python"] = totals["python"] / totals["native"]
+        aggregate["native_vs_generator"] = totals["generator"] / totals["native"]
+    aggregate["native"] = native
+    aggregate["scale"] = scale
+
+    print("\nClosed-loop control (instructions/sec, best of 3):")
+    for row in rows:
+        line = (
+            f"  {row['benchmark']:8s}"
+            f" generator {row['generator_ips']:>11,.0f}"
+            f"  python {row['python_ips']:>11,.0f}"
+        )
+        if native:
+            line += (
+                f"  native {row['native_ips']:>12,.0f}"
+                f"  native/python {row['native_vs_python']:5.1f}x"
+            )
+        print(line)
+    line = (
+        f"  {'TOTAL':8s}"
+        f" generator {aggregate['generator_ips']:>11,.0f}"
+        f"  python {aggregate['python_ips']:>11,.0f}"
+    )
+    if native:
+        line += (
+            f"  native {aggregate['native_ips']:>12,.0f}"
+            f"  native/python {aggregate['native_vs_python']:5.1f}x"
+        )
+    print(line)
+
+    payload = {"runs": rows, "aggregate": aggregate}
+    save_results("bench_control_loop", payload)
+
+    if check_floor and native:
+        ratio = aggregate["native_vs_python"]
+        assert ratio >= NATIVE_FLOOR, (
+            f"native closed loop is {ratio:.2f}x the batched Python closed "
+            f"loop; expected >= {NATIVE_FLOOR}x"
+        )
+    return payload
+
+
+def test_control_loop():
+    # The floor only binds when the native loop exists; the bench still
+    # measures and equivalence-checks the Python paths without it.
+    run_bench(check_floor=load_hotpath() is not None)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--check-floor",
+        action="store_true",
+        help=f"fail unless native closed-loop >= {NATIVE_FLOOR}x batched Python",
+    )
+    args = parser.parse_args(argv)
+    run_bench(check_floor=args.check_floor)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -74,7 +74,7 @@ from repro.sim import ExperimentRunner, SimulationSpec, run_spec
 from repro.uarch import CoreOptions, CoreResult, MCDCore
 from repro.workloads import BENCHMARKS, Phase, SyntheticTrace, get_benchmark
 
-__version__ = "1.1.0"
+from repro.version import __version__
 
 __all__ = [
     "AttackDecayController",

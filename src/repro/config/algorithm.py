@@ -129,6 +129,22 @@ class AttackDecayParams:
         """PerfDegThreshold as a fraction."""
         return self.perf_deg_threshold_pct / 100.0
 
+    def native_values(self) -> dict[str, float | int]:
+        """The operating point in fraction form for the C hot loop.
+
+        The native closed-loop controller (:mod:`repro.uarch.native`)
+        consumes exactly these registers; keeping the export here means
+        a new parameter cannot silently be left behind in Python when
+        the marshalling is extended.
+        """
+        return {
+            "deviation_threshold": self.deviation_threshold,
+            "reaction_change": self.reaction_change,
+            "decay": self.decay,
+            "perf_deg_threshold": self.perf_deg_threshold,
+            "endstop_intervals": self.endstop_intervals,
+        }
+
     def legend(self) -> str:
         """The paper's four-field legend label, e.g. ``1.750_06.0_0.175_2.5``."""
         return (

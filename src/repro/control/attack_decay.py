@@ -31,6 +31,14 @@ from repro.config.mcd import CONTROLLED_DOMAINS, Domain, MCDConfig
 from repro.control.base import IntervalSnapshot
 from repro.errors import ControlError
 
+#: Domain -> hot-loop index, matching the core's domain ordering.
+_NATIVE_DOMAIN_INDEX = {
+    Domain.FRONT_END: 0,
+    Domain.INTEGER: 1,
+    Domain.FLOATING_POINT: 2,
+    Domain.LOAD_STORE: 3,
+}
+
 
 @dataclass
 class DomainControlState:
@@ -191,6 +199,80 @@ class AttackDecayController:
         # Range check (performed after the algorithm, per the paper).
         new_mhz = min(config.max_frequency_mhz, max(config.min_frequency_mhz, new_mhz))
         return new_mhz
+
+    # ------------------------------------------------------------------
+    # native hot-path marshalling
+    # ------------------------------------------------------------------
+    def native_spec(self) -> dict | None:
+        """Flat numeric form of this controller for the C hot loop.
+
+        The native core loop (:mod:`repro.uarch.native`) runs Listing 1
+        inline — zero per-interval Python crossings — when the
+        configured controller is a *stock* ``AttackDecayController``.
+        Returns None whenever that inlining would be unsound: a
+        subclass (overridden hooks would be skipped), an instance made
+        instantaneous, or :meth:`begin` not yet called (the Python
+        paths raise on the first interval; the fallback callback path
+        preserves that).
+        """
+        if type(self) is not AttackDecayController:
+            return None
+        if self.instantaneous or self._config is None or not self.states:
+            return None
+        # Instance-level hook replacement (rare, but legal) must keep
+        # the Python callback path, which actually calls the hooks.
+        if "on_interval" in self.__dict__ or "begin" in self.__dict__:
+            return None
+        controlled = [0, 0, 0, 0]
+        frequency_mhz = [0.0, 0.0, 0.0, 0.0]
+        for domain in self.domains:
+            index = _NATIVE_DOMAIN_INDEX[domain]
+            controlled[index] = 1
+            frequency_mhz[index] = self.states[domain].frequency_mhz
+        return {
+            **self.params.native_values(),
+            "literal_listing": 1 if self.literal_listing else 0,
+            "smoothing_alpha": self.smoothing_alpha,
+            "controlled": controlled,
+            "frequency_mhz": frequency_mhz,
+            "prev_ipc": self.prev_ipc,
+            "smoothed_ipc": self._smoothed_ipc,
+        }
+
+    def absorb_native_state(
+        self,
+        prev_ipc: float,
+        smoothed_ipc: float,
+        frequency_mhz,
+        prev_queue_utilization,
+        upper_endstop,
+        lower_endstop,
+        attacks_up,
+        attacks_down,
+        decays,
+        holds,
+    ) -> None:
+        """Fold the native loop's controller registers back in.
+
+        Per-domain sequences are indexed by the hot-loop domain order
+        (front end, integer, floating point, load/store); the
+        diagnostics counters are *deltas* accumulated by the C loop.
+        After this, ``states``/``prev_ipc`` are exactly what the Python
+        paths would have left behind.
+        """
+        self.prev_ipc = float(prev_ipc)
+        self._smoothed_ipc = float(smoothed_ipc)
+        for domain in self.domains:
+            i = _NATIVE_DOMAIN_INDEX[domain]
+            state = self.states[domain]
+            state.frequency_mhz = float(frequency_mhz[i])
+            state.prev_queue_utilization = float(prev_queue_utilization[i])
+            state.upper_endstop = int(upper_endstop[i])
+            state.lower_endstop = int(lower_endstop[i])
+            state.attacks_up += int(attacks_up[i])
+            state.attacks_down += int(attacks_down[i])
+            state.decays += int(decays[i])
+            state.holds += int(holds[i])
 
     def _update_endstops(self, state: DomainControlState) -> None:
         """Listing 1 lines 38-47."""

@@ -16,6 +16,7 @@ import json
 import logging
 from pathlib import Path
 
+from repro.errors import ExperimentError
 from repro.ioutil import atomic_write
 
 #: Bump when a change invalidates previously cached results.  The
@@ -54,10 +55,23 @@ class CacheStore:
         self.enabled = enabled
 
     def key(self, payload: dict) -> str:
-        """Content-address a JSON-serialisable identity payload."""
-        text = json.dumps(
-            {"v": CACHE_VERSION, **payload}, sort_keys=True, default=str
-        )
+        """Content-address a JSON-serialisable identity payload.
+
+        Raises :class:`~repro.errors.ExperimentError` for payloads that
+        are not JSON-serialisable.  This is deliberate: stringifying
+        unknown values (``default=str``) would silently merge any two
+        values with equal ``str()`` — e.g. a custom object and its repr
+        — into one cache identity, serving one configuration the other
+        one's results.  A loud error turns that lossy collision into a
+        fixable bug in the payload builder.
+        """
+        try:
+            text = json.dumps({"v": CACHE_VERSION, **payload}, sort_keys=True)
+        except (TypeError, ValueError) as exc:
+            raise ExperimentError(
+                f"cache identity payload is not JSON-serialisable ({exc}); "
+                "convert values to JSON-native types before keying"
+            ) from None
         return hashlib.sha1(text.encode()).hexdigest()[:20]
 
     def _path(self, key: str) -> Path:

@@ -19,10 +19,13 @@ from __future__ import annotations
 
 import logging
 import multiprocessing
+import os
+import pickle
 import time
 from pathlib import Path
 from typing import Callable, Iterable, Sequence
 
+from repro.errors import ExperimentError
 from repro.experiments.executor import (
     ExecutionContext,
     benchmark_scale,
@@ -39,6 +42,82 @@ def _pool_entry(args: tuple) -> tuple[int, RunOutcome]:
     """Pool adapter: run one indexed scenario in a worker process."""
     index, scenario, cache_dir, use_cache, scale, seed = args
     return index, execute_scenario(scenario, cache_dir, use_cache, scale, seed)
+
+
+def _registry_state(require_picklable: bool) -> dict:
+    """Snapshot every runtime registration a worker must reproduce.
+
+    Import-time registrations (built-in configurations, the derived
+    catalog) re-materialise in any process; this captures what does
+    not: workloads registered through
+    :func:`~repro.workloads.catalog.register_benchmark` and runtime
+    registry additions.  With ``require_picklable`` (spawn/forkserver
+    contexts, whose workers receive the snapshot by pickle), entries
+    that cannot pickle — e.g. closure factories — are dropped with a
+    warning rather than taking the whole pool down; scenarios needing
+    them fail individually with a clear unknown-name error.
+    """
+    from repro.experiments.registry import (
+        CLOCKING_MODES,
+        CONFIGURATIONS,
+        CONTROLLERS,
+    )
+    from repro.workloads.catalog import runtime_benchmark_snapshot
+
+    state = {
+        "benchmarks": runtime_benchmark_snapshot(),
+        "configurations": CONFIGURATIONS.snapshot(),
+        "controllers": CONTROLLERS.snapshot(),
+        "clocking_modes": CLOCKING_MODES.snapshot(),
+    }
+    if not require_picklable:
+        return state
+
+    def picklable(label: str, name: str, value) -> bool:
+        try:
+            pickle.dumps(value)
+            return True
+        except Exception:  # noqa: BLE001 - any pickle failure disqualifies
+            logger.warning(
+                "orchestrator: %s %r cannot pickle; spawn workers will "
+                "not see it", label, name,
+            )
+            return False
+
+    state["benchmarks"] = {
+        name: spec
+        for name, spec in state["benchmarks"].items()
+        if picklable("runtime benchmark", name, spec)
+    }
+    for key, label in (
+        ("configurations", "configuration"),
+        ("controllers", "controller"),
+        ("clocking_modes", "clocking mode"),
+    ):
+        state[key] = [
+            entry for entry in state[key] if picklable(label, entry[0], entry)
+        ]
+    return state
+
+
+def _init_worker(state: dict) -> None:
+    """Pool initializer: reproduce the parent's runtime registrations.
+
+    Runs in every worker regardless of start method, so fork and spawn
+    contexts execute identical scenario matrices; under fork it is a
+    no-op (every name is already present).
+    """
+    from repro.experiments.registry import (
+        CLOCKING_MODES,
+        CONFIGURATIONS,
+        CONTROLLERS,
+    )
+    from repro.workloads.catalog import restore_runtime_benchmarks
+
+    restore_runtime_benchmarks(state["benchmarks"])
+    CONFIGURATIONS.restore(state["configurations"])
+    CONTROLLERS.restore(state["controllers"])
+    CLOCKING_MODES.restore(state["clocking_modes"])
 
 
 class Orchestrator:
@@ -60,6 +139,14 @@ class Orchestrator:
     on_result:
         Optional callback invoked with each :class:`RunOutcome` as it
         completes (progress bars, live tables).
+    start_method:
+        Multiprocessing start method for the worker pool (``"fork"``,
+        ``"spawn"``, ``"forkserver"``); None defers to
+        ``REPRO_START_METHOD``, then to fork where available.  Every
+        method produces identical result sets: workers receive a
+        snapshot of runtime-registered benchmarks/configurations
+        through the pool initializer, so spawn contexts reproduce fork
+        results instead of silently dropping registrations.
     """
 
     def __init__(
@@ -70,6 +157,7 @@ class Orchestrator:
         seed: int = 1,
         use_cache: bool | None = None,
         on_result: Callable[[RunOutcome], None] | None = None,
+        start_method: str | None = None,
     ) -> None:
         self.workers = default_workers() if workers is None else max(1, workers)
         self.cache_dir = cache_dir
@@ -77,6 +165,7 @@ class Orchestrator:
         self.seed = seed
         self.use_cache = use_cache
         self.on_result = on_result
+        self.start_method = start_method
 
     def _context(self) -> ExecutionContext:
         return ExecutionContext(
@@ -127,22 +216,45 @@ class Orchestrator:
             outcomes.append(outcome)
         return outcomes
 
+    def _mp_context(self):
+        """The multiprocessing context honouring the configured method."""
+        requested = self.start_method or os.environ.get("REPRO_START_METHOD")
+        if requested:
+            available = multiprocessing.get_all_start_methods()
+            if requested not in available:
+                raise ExperimentError(
+                    f"unsupported start method {requested!r}; "
+                    f"available: {', '.join(available)}"
+                )
+            return multiprocessing.get_context(requested)
+        # Fork (where available) is cheapest: workers inherit compiled
+        # traces and registries directly.
+        try:
+            return multiprocessing.get_context("fork")
+        except ValueError:  # pragma: no cover - non-POSIX fallback
+            return multiprocessing.get_context()
+
     def _run_parallel(self, scenarios: Sequence[Scenario]) -> list[RunOutcome]:
         cache_dir = str(self.cache_dir) if self.cache_dir is not None else None
         jobs: Iterable[tuple] = [
             (i, s, cache_dir, self.use_cache, self.scale, self.seed)
             for i, s in enumerate(scenarios)
         ]
-        # Fork (where available) keeps dynamically registered
-        # configurations visible to the workers; spawn would re-import
-        # only the built-ins.
-        try:
-            mp_context = multiprocessing.get_context("fork")
-        except ValueError:  # pragma: no cover - non-POSIX fallback
-            mp_context = multiprocessing.get_context()
+        mp_context = self._mp_context()
+        # Workers reproduce this process's runtime registrations
+        # through the initializer, so every start method sees the same
+        # benchmark/configuration namespace (fork used to be the only
+        # one that did; spawn silently dropped them).
+        state = _registry_state(
+            require_picklable=mp_context.get_start_method() != "fork"
+        )
         ordered: list[RunOutcome | None] = [None] * len(scenarios)
         done = 0
-        with mp_context.Pool(processes=min(self.workers, len(scenarios))) as pool:
+        with mp_context.Pool(
+            processes=min(self.workers, len(scenarios)),
+            initializer=_init_worker,
+            initargs=(state,),
+        ) as pool:
             for index, outcome in pool.imap_unordered(_pool_entry, jobs):
                 ordered[index] = outcome
                 self._announce(outcome, done, len(scenarios))

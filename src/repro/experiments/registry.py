@@ -104,6 +104,36 @@ class Registry:
         """All registered names, sorted."""
         return sorted(self._entries)
 
+    def snapshot(self) -> list[tuple[str, Callable, NameParser | None]]:
+        """Every entry as ``(name, factory, parser)`` triples.
+
+        Used by the orchestrator to ship runtime registrations to
+        worker processes whose start method does not inherit this
+        process's state (spawn/forkserver).
+        """
+        return [
+            (name, factory, self._parsers.get(name))
+            for name, factory in self._entries.items()
+        ]
+
+    def restore(
+        self, entries: list[tuple[str, Callable, NameParser | None]]
+    ) -> None:
+        """Merge snapshot ``entries``, skipping names already present.
+
+        Import-time registrations re-run in every process, so a worker
+        already has the built-ins; only the parent's *runtime*
+        additions are actually missing.  Present names win (the worker
+        re-imported the same module the parent did), which also makes
+        the restore idempotent under fork.
+        """
+        for name, factory, parser in entries:
+            if name in self._entries:
+                continue
+            self._entries[name] = factory
+            if parser is not None:
+                self._parsers[name] = parser
+
     def __contains__(self, name: str) -> bool:
         try:
             self.resolve(name)

@@ -3,12 +3,16 @@
 The result cache (:mod:`repro.experiments.cache`), the compiled-trace
 store (:mod:`repro.uarch.compiled_trace`) and the ETF exporter
 (:mod:`repro.uarch.etf`) all publish files the same way: write the full
-payload to a temporary file in the destination directory, then
-:func:`os.replace` it into place.  Readers — including concurrent
-orchestrator workers on other processes — therefore only ever observe
-complete files; the worst case under a crash is a stray ``*.tmp``,
-never a truncated entry.  This module is the single copy of that
-pattern.
+payload to a temporary file in the destination directory, flush and
+fsync it, then :func:`os.replace` it into place.  Readers — including
+concurrent orchestrator workers on other processes — therefore only
+ever observe complete files; the worst case under a crash is a stray
+``*.tmp``, never a truncated entry.  The fsync *before* the rename is
+load-bearing for that guarantee: a rename can be durable before the
+data it names, so without it a power loss could publish a zero-length
+or partial file under the final name.  (The containing directory is
+fsynced best-effort too, so the rename itself survives the crash.)
+This module is the single copy of that pattern.
 """
 
 from __future__ import annotations
@@ -25,8 +29,9 @@ def atomic_write(path: Path | str, mode: str = "wb") -> Iterator[IO]:
     """Open a handle whose contents appear at ``path`` atomically.
 
     The destination directory is created if missing.  The handle writes
-    to a temporary sibling; on clean exit the file is renamed over
-    ``path`` in one :func:`os.replace`, and on any exception the
+    to a temporary sibling; on clean exit the file is flushed, fsynced
+    and renamed over ``path`` in one :func:`os.replace` (followed by a
+    best-effort fsync of the directory), and on any exception the
     temporary is unlinked and the destination left untouched.
 
     >>> import tempfile as _tf
@@ -45,10 +50,35 @@ def atomic_write(path: Path | str, mode: str = "wb") -> Iterator[IO]:
     try:
         with os.fdopen(fd, mode) as handle:
             yield handle
+            # Make the payload durable *before* the rename publishes
+            # its name — otherwise a power loss can surface a
+            # zero-length or partial file at ``path``.
+            handle.flush()
+            os.fsync(handle.fileno())
         os.replace(tmp_name, path)
+        _fsync_directory(path.parent)
     except BaseException:
         try:
             os.unlink(tmp_name)
         except OSError:
             pass
         raise
+
+
+def _fsync_directory(directory: Path) -> None:
+    """Best-effort directory fsync, making a rename itself durable.
+
+    Not every platform/filesystem supports opening a directory for
+    fsync (Windows does not); failure only weakens durability of the
+    *rename*, never atomicity, so it is deliberately non-fatal.
+    """
+    try:
+        fd = os.open(directory, os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)

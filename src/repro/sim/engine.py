@@ -132,6 +132,14 @@ class SimulationSpec:
         batched core fast path).  False forces the per-instruction
         generator reference path — byte-identical results, useful for
         equivalence tests and the hot-path benchmark.
+    path:
+        Explicit execution-path selection: ``"auto"`` (default) picks
+        the fastest available; ``"native"`` requires the C loop;
+        ``"python"`` forces the batched Python loop; ``"generator"``
+        forces the per-instruction reference path (implies a generator
+        trace, regardless of ``compiled``).  All paths are
+        byte-identical — this knob exists for equivalence tests and
+        the path benchmarks (``benchmarks/bench_control_loop.py``).
     memory_tracks_global:
         Scale main-memory latency with ``global_frequency_mhz``
         (latency constant in processor cycles, SimpleScalar-style).
@@ -154,14 +162,20 @@ class SimulationSpec:
     warmup: bool = True
     memory_tracks_global: bool = False
     compiled: bool = True
+    path: str = "auto"
     processor: ProcessorConfig = field(default_factory=ProcessorConfig)
     mcd_config: MCDConfig = field(default_factory=scaled_mcd_config)
 
 
 def run_spec(spec: SimulationSpec) -> CoreResult:
     """Execute one simulation run."""
+    if spec.path not in ("auto", "native", "python", "generator"):
+        raise ExperimentError(
+            f"unknown execution path {spec.path!r}; "
+            "expected auto, native, python or generator"
+        )
     bench = get_benchmark(spec.benchmark)
-    if spec.compiled:
+    if spec.compiled and spec.path != "generator":
         line_shift = spec.processor.line_bytes.bit_length() - 1
         trace = compiled_trace_for(bench, scale=spec.scale, line_shift=line_shift)
     else:
@@ -209,4 +223,4 @@ def run_spec(spec: SimulationSpec) -> CoreResult:
         # the seed), so building a second copy would only duplicate
         # the phase bookkeeping.
         core.warm_up(trace, limit=trace.total_instructions)
-    return core.run()
+    return core.run(path=spec.path)

@@ -9,10 +9,14 @@
  *
  * State crosses the boundary once per run: compiled-trace columns come
  * in as int64 buffers, cache/predictor/BTB state is unmarshalled from
- * the owning Python objects at entry and written back at exit, and the
- * controller (plus interval recording) is reached through a per-interval
- * Python callback.  See repro/uarch/native.py for the build/load glue
- * and MCDCore._run_compiled_native for the marshal layer.
+ * the owning Python objects at entry and written back at exit.  A stock
+ * Attack/Decay controller (paper Listing 1, plus the regulator's
+ * request quantisation) is marshalled into flat registers and run
+ * inline at each interval rollover — the closed-loop run then makes
+ * zero per-interval Python crossings.  Custom controllers and interval
+ * recording fall back to the per-interval `rollover` Python callback.
+ * See repro/uarch/native.py for the build/load glue and controller
+ * marshalling, and MCDCore._run_compiled_native for the marshal layer.
  */
 #define PY_SSIZE_T_CLEAN
 #include <Python.h>
@@ -266,6 +270,22 @@ run_compiled(PyObject *self, PyObject *args)
     const int call_rollover = (int)call_rollover_ll;
     int64_t int_free = int_free_ll, fp_free = fp_free_ll;
 
+    /* --- native closed-loop controller (attack/decay, Listing 1) ------ */
+    long long native_ctrl_ll = 0;
+    if (get_long(a, "native_ctrl", &native_ctrl_ll))
+        goto fail;
+    const int native_ctrl = (int)native_ctrl_ll;
+    double ad_dev = 0.0, ad_reaction = 0.0, ad_decay = 0.0, ad_perf_deg = 0.0;
+    double ad_alpha = 1.0, cfg_min_mhz = 0.0, cfg_max_mhz = 0.0, freq_step = 1.0;
+    long long ad_endstop = 0, ad_literal = 0, freq_points = 0;
+    const int64_t *ad_ctrl = NULL;
+    double *ad_freq = NULL, *ad_prev_util = NULL, *ad_ipc = NULL;
+    int64_t *ad_upper = NULL, *ad_lower = NULL;
+    int64_t *ad_attacks_up = NULL, *ad_attacks_down = NULL;
+    int64_t *ad_decays = NULL, *ad_holds = NULL;
+    const double *freq_table = NULL;
+    int64_t *reg_requests = NULL, *reg_dirchg = NULL;
+
     /* --- column buffers ----------------------------------------------- */
     Py_ssize_t col_n;
     const int64_t *kinds = get_buffer(a, "kinds", &pool, 0, 8, &col_n);
@@ -316,6 +336,43 @@ run_compiled(PyObject *self, PyObject *args)
         || !n_idle || !q_occ || !q_writes || !cache_stats || !bp_stats
         || !cur_freq)
         goto fail;
+
+    if (native_ctrl) {
+        if (get_double(a, "ad_dev", &ad_dev)
+            || get_double(a, "ad_reaction", &ad_reaction)
+            || get_double(a, "ad_decay", &ad_decay)
+            || get_double(a, "ad_perf_deg", &ad_perf_deg)
+            || get_double(a, "ad_alpha", &ad_alpha)
+            || get_long(a, "ad_endstop", &ad_endstop)
+            || get_long(a, "ad_literal", &ad_literal)
+            || get_long(a, "freq_points", &freq_points)
+            || get_double(a, "freq_step", &freq_step)
+            || get_double(a, "cfg_min_mhz", &cfg_min_mhz)
+            || get_double(a, "cfg_max_mhz", &cfg_max_mhz))
+            goto fail;
+        ad_ctrl = get_buffer(a, "ad_ctrl", &pool, 0, 8, NULL);
+        ad_freq = get_buffer(a, "ad_freq", &pool, 1, 8, NULL);
+        ad_prev_util = get_buffer(a, "ad_prev_util", &pool, 1, 8, NULL);
+        ad_upper = get_buffer(a, "ad_upper", &pool, 1, 8, NULL);
+        ad_lower = get_buffer(a, "ad_lower", &pool, 1, 8, NULL);
+        ad_attacks_up = get_buffer(a, "ad_attacks_up", &pool, 1, 8, NULL);
+        ad_attacks_down = get_buffer(a, "ad_attacks_down", &pool, 1, 8, NULL);
+        ad_decays = get_buffer(a, "ad_decays", &pool, 1, 8, NULL);
+        ad_holds = get_buffer(a, "ad_holds", &pool, 1, 8, NULL);
+        ad_ipc = get_buffer(a, "ad_ipc", &pool, 1, 8, NULL);
+        Py_ssize_t table_n = 0;
+        freq_table = get_buffer(a, "freq_table", &pool, 0, 8, &table_n);
+        reg_requests = get_buffer(a, "reg_requests", &pool, 1, 8, NULL);
+        reg_dirchg = get_buffer(a, "reg_dirchg", &pool, 1, 8, NULL);
+        if (!ad_ctrl || !ad_freq || !ad_prev_util || !ad_upper || !ad_lower
+            || !ad_attacks_up || !ad_attacks_down || !ad_decays || !ad_holds
+            || !ad_ipc || !freq_table || !reg_requests || !reg_dirchg)
+            goto fail;
+        if (freq_points < 1 || table_n < freq_points) {
+            PyErr_SetString(PyExc_ValueError, "hotpath: bad frequency table");
+            goto fail;
+        }
+    }
 
     /* --- python-object state, unmarshalled ----------------------------- */
     PyObject *l1i_sets_o = PyDict_GetItemString(a, "l1i_sets");
@@ -571,6 +628,121 @@ run_compiled(PyObject *self, PyObject *args)
                     /* Pick up controller-applied regulator changes.
                      * NOTE: vscale deliberately stays the value bound
                      * at the top of this cycle, like the Python paths. */
+                    for (int i = 0; i < 4; i++) {
+                        slewing[i] = reg_cur[i] != reg_tgt[i];
+                        if (reg_cur[i] != cur_freq[i]) {
+                            cur_freq[i] = reg_cur[i];
+                            cur_period[i] = 1e3 / reg_cur[i];
+                            double v = vmin + (reg_cur[i] - fmin) * vslope;
+                            cur_vscale[i] = v * v * vmax_sq_inv;
+                        }
+                    }
+                } else if (native_ctrl) {
+                    /* Attack/Decay (paper Listing 1) run inline: the
+                     * same arithmetic, in the same order, as
+                     * AttackDecayController.on_interval feeding
+                     * VoltageFrequencyRegulator.request — with zero
+                     * Python crossings. */
+                    double raw_ipc = (double)interval_len
+                                     / (duration * cur_freq[0] * 1e-3);
+                    double ipc;
+                    if (interval_index - 1 == 0 || ad_alpha >= 1.0)
+                        ipc = raw_ipc;
+                    else
+                        ipc = ad_alpha * raw_ipc + (1.0 - ad_alpha) * ad_ipc[1];
+                    ad_ipc[1] = ipc;
+                    /* The PerfDegThreshold guard (Listing 1 l.19 & 25). */
+                    int decrease_allowed = 0;
+                    if (ipc > 0.0) {
+                        if (ad_ipc[0] <= 0.0) {
+                            decrease_allowed = 1;
+                        } else {
+                            double ratio = ad_ipc[0] / ipc;
+                            decrease_allowed =
+                                ad_literal ? (ratio >= ad_perf_deg)
+                                           : (ratio - 1.0 <= ad_perf_deg);
+                        }
+                    }
+                    int64_t occs[4] = {0, occ1, occ2, occ3};
+                    for (int i = 0; i < 4; i++) {
+                        if (!ad_ctrl[i])
+                            continue;
+                        double utilization =
+                            (double)occs[i] / (double)interval_len;
+                        double scale = 1.0; /* >1 slows the domain down */
+                        if (ad_upper[i] >= ad_endstop) {
+                            scale = 1.0 + ad_reaction; /* force decrease */
+                            ad_attacks_down[i]++;
+                        } else if (ad_lower[i] >= ad_endstop) {
+                            scale = 1.0 - ad_reaction; /* force increase */
+                            ad_attacks_up[i]++;
+                        } else {
+                            double prev = ad_prev_util[i];
+                            double deviation = prev * ad_dev;
+                            if (utilization - prev > deviation) {
+                                scale = 1.0 - ad_reaction;
+                                ad_attacks_up[i]++;
+                            } else if (prev - utilization > deviation
+                                       && decrease_allowed) {
+                                scale = 1.0 + ad_reaction;
+                                ad_attacks_down[i]++;
+                            } else if (decrease_allowed && ad_decay > 0.0) {
+                                scale = 1.0 + ad_decay;
+                                ad_decays[i]++;
+                            } else {
+                                ad_holds[i]++;
+                            }
+                        }
+                        double new_mhz = ad_freq[i] / scale;
+                        /* min(max_f, max(min_f, new_mhz)) */
+                        if (new_mhz < cfg_min_mhz)
+                            new_mhz = cfg_min_mhz;
+                        if (new_mhz > cfg_max_mhz)
+                            new_mhz = cfg_max_mhz;
+                        if (new_mhz != ad_freq[i]) {
+                            ad_freq[i] = new_mhz;
+                            /* regulator.request: quantize to the scale
+                             * (nearbyint = round-half-even, matching
+                             * Python's round()). */
+                            double clamped = new_mhz < cfg_min_mhz
+                                                 ? cfg_min_mhz
+                                                 : new_mhz;
+                            if (clamped > cfg_max_mhz)
+                                clamped = cfg_max_mhz;
+                            int64_t idx = (int64_t)nearbyint(
+                                (clamped - cfg_min_mhz) / freq_step);
+                            if (idx < 0)
+                                idx = 0;
+                            if (idx >= freq_points)
+                                idx = freq_points - 1;
+                            double snapped = freq_table[idx];
+                            if (snapped != reg_tgt[i]) {
+                                reg_requests[i]++;
+                                double old_dir = reg_tgt[i] - reg_cur[i];
+                                double new_dir = snapped - reg_cur[i];
+                                if (old_dir * new_dir < 0.0)
+                                    reg_dirchg[i]++;
+                                reg_tgt[i] = snapped;
+                            }
+                        }
+                        /* Endstop counters (Listing 1 l.38-47). */
+                        int at_min = ad_freq[i] <= cfg_min_mhz + 1e-9;
+                        int at_max = ad_freq[i] >= cfg_max_mhz - 1e-9;
+                        if (at_min && ad_lower[i] != ad_endstop)
+                            ad_lower[i]++;
+                        else
+                            ad_lower[i] = 0;
+                        if (at_max && ad_upper[i] != ad_endstop)
+                            ad_upper[i]++;
+                        else
+                            ad_upper[i] = 0;
+                        ad_prev_util[i] = utilization;
+                    }
+                    ad_ipc[0] = ipc;
+                    /* Pick up the new regulator targets, exactly as
+                     * after the callback above (request never moves
+                     * reg_cur, so the cur_freq refresh is a no-op kept
+                     * for strict symmetry). */
                     for (int i = 0; i < 4; i++) {
                         slewing[i] = reg_cur[i] != reg_tgt[i];
                         if (reg_cur[i] != cur_freq[i]) {

@@ -284,12 +284,23 @@ class TraceStore:
         self.enabled = enabled
 
     def key(self, payload: dict) -> str:
-        """Content-address a JSON-serialisable trace identity payload."""
-        text = json.dumps(
-            {"trace_version": COMPILED_TRACE_VERSION, **payload},
-            sort_keys=True,
-            default=str,
-        )
+        """Content-address a JSON-serialisable trace identity payload.
+
+        Raises :class:`~repro.errors.TraceError` for non-serialisable
+        payloads: stringifying unknown values (``default=str``) would
+        let two distinct trace identities with equal ``str()`` collide
+        into one stored trace.
+        """
+        try:
+            text = json.dumps(
+                {"trace_version": COMPILED_TRACE_VERSION, **payload},
+                sort_keys=True,
+            )
+        except (TypeError, ValueError) as exc:
+            raise TraceError(
+                f"trace identity payload is not JSON-serialisable ({exc}); "
+                "convert values to JSON-native types before keying"
+            ) from None
         return hashlib.sha1(text.encode()).hexdigest()[:20]
 
     def _path(self, key: str) -> Path:

@@ -572,23 +572,45 @@ class MCDCore:
             complex_w,
         )
 
-    def run(self) -> CoreResult:
+    def run(self, path: str = "auto") -> CoreResult:
         """Simulate the whole trace and return the measurements.
 
-        Dispatches to the fastest available path: the native extension
-        when it loads (see :mod:`repro.uarch.native`), else the batched
-        Python loop, for cores built over a compiled trace; the
-        per-instruction generator path otherwise.  All three produce
-        byte-identical results.
+        ``path`` selects the execution path explicitly: ``"auto"``
+        (default) dispatches to the fastest available — the native
+        extension when it loads (see :mod:`repro.uarch.native`), else
+        the batched Python loop, for cores built over a compiled trace;
+        the per-instruction generator path otherwise.  ``"native"``
+        requires the C loop, ``"python"`` forces the batched Python
+        loop, ``"generator"`` requires a generator-trace core.  All
+        three produce byte-identical results.
         """
+        if path not in ("auto", "native", "python", "generator"):
+            raise SimulationError(f"unknown execution path {path!r}")
         if self.compiled is not None:
-            if self.compiled.arrays:
+            if path == "generator":
+                raise SimulationError(
+                    "generator path requires a TraceStream core "
+                    "(this core was built over a compiled trace)"
+                )
+            if path != "python" and self.compiled.arrays:
                 from repro.uarch.native import load_hotpath
 
                 hotpath = load_hotpath()
                 if hotpath is not None:
                     return self._run_compiled_native(hotpath)
+                if path == "native":
+                    raise SimulationError(
+                        "native path requested but the extension is unavailable"
+                    )
+            elif path == "native":
+                raise SimulationError(
+                    "native path requires compiled column arrays"
+                )
             return self._run_compiled()
+        if path in ("native", "python"):
+            raise SimulationError(
+                f"{path} path requires a core built over a compiled trace"
+            )
         return self._run_generator()
 
     def _run_compiled_native(self, hotpath) -> CoreResult:
@@ -596,11 +618,22 @@ class MCDCore:
 
         This method is pure marshalling: pack compiled columns and
         warm microarchitectural state for :func:`_hotpath.run_compiled`,
-        expose the controller through a per-interval callback, and fold
-        the results back into the owning Python objects exactly as
-        :meth:`_run_compiled` would leave them.
+        expose the controller to the C loop, and fold the results back
+        into the owning Python objects exactly as :meth:`_run_compiled`
+        would leave them.
+
+        A stock :class:`~repro.control.attack_decay.AttackDecayController`
+        is marshalled into flat registers and run *inside* the C loop —
+        the whole closed-loop run then makes zero per-interval Python
+        crossings.  Custom controllers and ``record_interval_trace``
+        consumers fall back to the per-interval ``rollover`` callback.
         """
         import numpy as np
+
+        from repro.uarch.native import (
+            fold_native_controller,
+            native_controller_args,
+        )
 
         if self.controller is not None:
             self.controller.begin(
@@ -663,6 +696,15 @@ class MCDCore:
         )
 
         jitters = [c.jitter for c in clocks]
+
+        # A stock attack/decay controller runs natively inside the C
+        # loop unless the caller needs per-interval records (which only
+        # the Python callback can collect).
+        native_ctrl_args = None
+        if controller is not None and not record_trace:
+            native_ctrl_args = native_controller_args(
+                controller, self.mcd_config, regulators[0].scale
+            )
 
         def refill(d: int):
             """Refill domain ``d``'s jitter stream; returns the buffer."""
@@ -821,7 +863,15 @@ class MCDCore:
             "hist_mask": predictor._history_mask,
             "btb_nsets": predictor.btb.sets,
             "btb_ways": predictor.btb.ways,
-            "call_rollover": 1 if (controller is not None or record_trace) else 0,
+            "call_rollover": (
+                1
+                if (
+                    (controller is not None or record_trace)
+                    and native_ctrl_args is None
+                )
+                else 0
+            ),
+            "native_ctrl": 0,
             "mem_latency": float(proc.memory_latency_ns),
             "window": self.window_ns,
             "vmin": vmin,
@@ -834,6 +884,8 @@ class MCDCore:
             "e_retire": self._e_retire,
             "e_disp_fetch": self._e_dispatch + self._e_fetch,
         }
+        if native_ctrl_args is not None:
+            args.update(native_ctrl_args)
         res = hotpath.run_compiled(args)
         if res["error"]:
             raise SimulationError(
@@ -868,6 +920,8 @@ class MCDCore:
         bstats.lookups += int(bp_stats[0])
         bstats.direction_mispredicts += int(bp_stats[1])
         bstats.btb_target_misses += int(bp_stats[2])
+        if native_ctrl_args is not None:
+            fold_native_controller(controller, regulators, native_ctrl_args)
         for i, dom in enumerate(_DOMAINS):
             acct.add_raw(
                 dom,

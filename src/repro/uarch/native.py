@@ -95,6 +95,85 @@ def _compile(so_path: Path) -> bool:
     return True
 
 
+def native_controller_args(controller, mcd_config, frequency_scale) -> dict | None:
+    """Marshal a stock Attack/Decay controller for the C hot loop.
+
+    Returns the argument-dict fragment ``run_compiled`` consumes to run
+    the closed-loop control policy natively (zero per-interval Python
+    crossings), or None when the controller must stay on the Python
+    callback path (custom controller, no ``native_spec``, unsound
+    state).  The per-domain output buffers in the fragment are filled
+    by the C loop and folded back by :func:`fold_native_controller`.
+    """
+    spec_fn = getattr(controller, "native_spec", None)
+    if spec_fn is None:
+        return None
+    spec = spec_fn()
+    if spec is None:
+        return None
+    import numpy as np
+
+    table = np.ascontiguousarray(frequency_scale.frequencies_mhz, dtype=np.float64)
+    return {
+        "native_ctrl": 1,
+        # Listing-1 operating point (fractions, not percent).
+        "ad_dev": float(spec["deviation_threshold"]),
+        "ad_reaction": float(spec["reaction_change"]),
+        "ad_decay": float(spec["decay"]),
+        "ad_perf_deg": float(spec["perf_deg_threshold"]),
+        "ad_alpha": float(spec["smoothing_alpha"]),
+        "ad_endstop": int(spec["endstop_intervals"]),
+        "ad_literal": int(spec["literal_listing"]),
+        # Controller registers (in/out).
+        "ad_ctrl": np.array(spec["controlled"], dtype=np.int64),
+        "ad_freq": np.array(spec["frequency_mhz"], dtype=np.float64),
+        "ad_prev_util": np.zeros(4),
+        "ad_upper": np.zeros(4, dtype=np.int64),
+        "ad_lower": np.zeros(4, dtype=np.int64),
+        "ad_attacks_up": np.zeros(4, dtype=np.int64),
+        "ad_attacks_down": np.zeros(4, dtype=np.int64),
+        "ad_decays": np.zeros(4, dtype=np.int64),
+        "ad_holds": np.zeros(4, dtype=np.int64),
+        "ad_ipc": np.array([spec["prev_ipc"], spec["smoothed_ipc"]]),
+        # Regulator request quantisation (the 320-point scale) + stats.
+        "freq_table": table,
+        "freq_points": len(table),
+        "freq_step": float(mcd_config.frequency_step_mhz),
+        "cfg_min_mhz": float(mcd_config.min_frequency_mhz),
+        "cfg_max_mhz": float(mcd_config.max_frequency_mhz),
+        "reg_requests": np.zeros(4, dtype=np.int64),
+        "reg_dirchg": np.zeros(4, dtype=np.int64),
+    }
+
+
+def fold_native_controller(controller, regulators, args: dict) -> None:
+    """Fold the C loop's controller/regulator registers back out.
+
+    Leaves ``controller.states`` (including the per-domain diagnostics
+    counters) and the regulators' request statistics exactly as the
+    Python execution paths would, so post-run inspection cannot tell
+    which path ran.
+    """
+    ad_ipc = args["ad_ipc"]
+    controller.absorb_native_state(
+        prev_ipc=float(ad_ipc[0]),
+        smoothed_ipc=float(ad_ipc[1]),
+        frequency_mhz=args["ad_freq"],
+        prev_queue_utilization=args["ad_prev_util"],
+        upper_endstop=args["ad_upper"],
+        lower_endstop=args["ad_lower"],
+        attacks_up=args["ad_attacks_up"],
+        attacks_down=args["ad_attacks_down"],
+        decays=args["ad_decays"],
+        holds=args["ad_holds"],
+    )
+    requests = args["reg_requests"]
+    dirchg = args["reg_dirchg"]
+    for i, regulator in enumerate(regulators):
+        regulator.stats.requests += int(requests[i])
+        regulator.stats.direction_changes += int(dirchg[i])
+
+
 def load_hotpath():
     """The ``_hotpath`` extension module, or None when unavailable.
 

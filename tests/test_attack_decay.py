@@ -213,3 +213,66 @@ class TestStateProperties:
             ctl.on_interval(make_snapshot(i, {Domain.INTEGER: u}))
         s = ctl.states[Domain.INTEGER]
         assert s.attacks_up + s.attacks_down + s.decays + s.holds == len(utils)
+
+
+class TestNativeSpec:
+    """Eligibility contract for running the controller inside the C loop."""
+
+    def test_stock_started_controller_is_eligible(self):
+        ctl = started_controller()
+        spec = ctl.native_spec()
+        assert spec is not None
+        assert spec["controlled"] == [0, 1, 1, 1]
+        assert spec["frequency_mhz"][1:] == [1000.0, 1000.0, 1000.0]
+        assert spec["literal_listing"] == 0
+        assert spec["endstop_intervals"] == AttackDecayParams().endstop_intervals
+
+    def test_literal_listing_flag_exported(self):
+        assert started_controller(literal_listing=True).native_spec()[
+            "literal_listing"
+        ] == 1
+
+    def test_unstarted_controller_is_ineligible(self):
+        assert AttackDecayController(AttackDecayParams()).native_spec() is None
+
+    def test_subclass_is_ineligible(self):
+        class Custom(AttackDecayController):
+            def on_interval(self, snapshot):
+                return super().on_interval(snapshot)
+
+        ctl = Custom(AttackDecayParams())
+        ctl.begin(MCDConfig(), {d: 1000.0 for d in CONTROLLED_DOMAINS})
+        assert ctl.native_spec() is None
+
+    def test_instance_hook_override_is_ineligible(self):
+        ctl = started_controller()
+        ctl.on_interval = lambda snapshot: {}
+        assert ctl.native_spec() is None
+
+    def test_instantaneous_instance_is_ineligible(self):
+        ctl = started_controller()
+        ctl.instantaneous = True
+        assert ctl.native_spec() is None
+
+    def test_absorb_round_trips_state(self):
+        ctl = started_controller()
+        ctl.absorb_native_state(
+            prev_ipc=1.5,
+            smoothed_ipc=1.25,
+            frequency_mhz=[0.0, 900.0, 800.0, 700.0],
+            prev_queue_utilization=[0.0, 1.0, 2.0, 3.0],
+            upper_endstop=[0, 1, 0, 0],
+            lower_endstop=[0, 0, 2, 0],
+            attacks_up=[0, 4, 0, 0],
+            attacks_down=[0, 0, 5, 0],
+            decays=[0, 0, 0, 6],
+            holds=[0, 1, 1, 1],
+        )
+        assert ctl.prev_ipc == 1.5
+        state = ctl.states[Domain.INTEGER]
+        assert state.frequency_mhz == 900.0
+        assert state.prev_queue_utilization == 1.0
+        assert state.upper_endstop == 1
+        assert state.attacks_up == 4
+        ls = ctl.states[Domain.LOAD_STORE]
+        assert ls.decays == 6 and ls.holds == 1

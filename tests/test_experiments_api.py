@@ -162,6 +162,34 @@ class TestCacheStore:
         )
         assert plain != tweaked
 
+    def test_key_rejects_non_serialisable_payload_values(self, tmp_path):
+        """Regression: ``default=str`` silently collided distinct values.
+
+        Two payload values with equal ``str()`` used to hash to one
+        cache identity, so one configuration could be served the other
+        one's results.  Non-JSON values must raise instead.
+        """
+        store = CacheStore(tmp_path)
+
+        class Opaque:
+            def __init__(self, value):
+                self.value = value
+
+            def __str__(self):  # identical str() for distinct values
+                return "opaque"
+
+        with pytest.raises(ExperimentError, match="JSON-serialisable"):
+            store.key({"benchmark": "x", "knob": Opaque(1)})
+        with pytest.raises(ExperimentError, match="JSON-serialisable"):
+            store.key({"benchmark": "x", "knob": Opaque(2)})
+
+    def test_key_separates_values_str_would_merge(self, tmp_path):
+        """JSON-distinguishable values that stringify alike stay distinct."""
+        store = CacheStore(tmp_path)
+        as_string = store.key({"scale": "0.5"})
+        as_number = store.key({"scale": 0.5})
+        assert as_string != as_number
+
 
 class TestExecutionContext:
     def test_run_matches_direct_spec(self, ctx):
@@ -211,6 +239,54 @@ class TestOrchestrator:
         assert sorted(p.name for p in (tmp_path / "serial").iterdir()) == sorted(
             p.name for p in (tmp_path / "par").iterdir()
         )
+
+    def test_forced_spawn_reproduces_fork_over_runtime_registration(
+        self, tmp_path
+    ):
+        """Regression: spawn workers silently dropped runtime workloads.
+
+        The orchestrator hard-coded the fork start method because
+        spawn re-imports only the built-ins; the fix ships a registry
+        snapshot through the pool initializer.  A runtime-registered
+        workload must therefore run — and produce the same summaries —
+        under a forced-spawn pool as under fork/serial.
+        """
+        import multiprocessing
+
+        from repro.workloads import algebra
+        from repro.workloads.catalog import get_benchmark, register_benchmark
+
+        if "spawn" not in multiprocessing.get_all_start_methods():
+            pytest.skip("spawn start method unavailable")
+        register_benchmark(
+            algebra.scale(get_benchmark("adpcm"), 0.5, name="spawn_reg_bench"),
+            replace=True,
+        )
+        matrix = [
+            Scenario("spawn_reg_bench", "sync"),
+            Scenario("spawn_reg_bench", "mcd_base"),
+            Scenario("adpcm", "attack_decay"),
+        ]
+        spawned = Orchestrator(
+            workers=2,
+            cache_dir=tmp_path / "spawn",
+            scale=SCALE,
+            use_cache=False,
+            start_method="spawn",
+        ).run(matrix)
+        assert not spawned.errors, [o.error for o in spawned.errors]
+        serial = Orchestrator(
+            workers=1, cache_dir=tmp_path / "serial", scale=SCALE, use_cache=False
+        ).run(matrix)
+        assert [o.record.summary for o in spawned] == [
+            o.record.summary for o in serial
+        ]
+
+    def test_unknown_start_method_raises(self, tmp_path):
+        with pytest.raises(ExperimentError, match="start method"):
+            Orchestrator(
+                workers=2, cache_dir=tmp_path, scale=SCALE, start_method="warp"
+            ).run([Scenario("adpcm", "sync"), Scenario("gsm", "sync")])
 
     def test_rerun_hits_cache(self, tmp_path):
         suite = Suite(

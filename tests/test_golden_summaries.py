@@ -4,7 +4,10 @@ Six representative catalog benchmarks (one per behavioural family:
 DSP, the Figure 2/3 case study, bimodal compile, pointer-chase,
 streaming FP, dependency-bound sort) x both clocking modes, pinned to
 the *exact* floats the simulator produced when these goldens were
-recorded.  Any change to the generator, the trace compiler, any of the
+recorded.  A second table pins closed-loop Attack/Decay runs — three
+benchmarks x both ``literal_listing`` variants at a second seed — on
+the configuration where the native loop runs the controller inside C,
+locking the Listing-1 migration to exact numbers.  Any change to the generator, the trace compiler, any of the
 three core paths, the energy accounting or the controller that moves a
 result — even in the last ulp — fails here, turning silent drift into
 an explicit decision: either fix the regression or re-record the
@@ -144,6 +147,69 @@ GOLDEN: dict[tuple[str, str], RunSummary] = {
 }
 
 
+#: (benchmark, literal_listing) -> exact closed-loop summary at seed 3.
+#: These pin the Attack/Decay *controller itself* — both Listing-1
+#: comparison variants — on runs where the native loop executes the
+#: controller inside C (no interval recording), so the C migration of
+#: Listing 1 is locked to exact numbers on every path.
+GOLDEN_CLOSED_LOOP: dict[tuple[str, bool], RunSummary] = {
+    ("adpcm", False): RunSummary(
+        instructions=4000,
+        wall_time_ns=1486.6324725636607,
+        energy=2552.213521429926,
+        cpi=0.3716581181409152,
+        epi=0.6380533803574815,
+        power=1.7167750392460466,
+        edp=3794203.4978737785,
+    ),
+    ("adpcm", True): RunSummary(
+        instructions=4000,
+        wall_time_ns=1495.5363192937343,
+        energy=2538.154496597878,
+        cpi=0.3738840798234336,
+        epi=0.6345386241494695,
+        power=1.6971533648855275,
+        edp=3795902.2336408314,
+    ),
+    ("gcc", False): RunSummary(
+        instructions=6000,
+        wall_time_ns=5889.401105321532,
+        energy=5739.104586297339,
+        cpi=0.981566850886922,
+        epi=0.9565174310495564,
+        power=0.9744801693183389,
+        edp=33799888.89409542,
+    ),
+    ("gcc", True): RunSummary(
+        instructions=6000,
+        wall_time_ns=5946.26078267097,
+        energy=5648.861780599396,
+        cpi=0.991043463778495,
+        epi=0.9414769634332327,
+        power=0.9499855433622629,
+        edp=33589605.2727071,
+    ),
+    ("mcf", False): RunSummary(
+        instructions=5000,
+        wall_time_ns=13039.466305094486,
+        energy=8176.527145992073,
+        cpi=2.607893261018897,
+        epi=1.6353054291984146,
+        power=0.6270599543477884,
+        edp=106617550.21285401,
+    ),
+    ("mcf", True): RunSummary(
+        instructions=5000,
+        wall_time_ns=13184.422166955512,
+        energy=7967.202232644357,
+        cpi=2.6368844333911023,
+        epi=1.5934404465288714,
+        power=0.6042890717359446,
+        edp=105042957.7246937,
+    ),
+}
+
+
 def _spec(benchmark: str, mode: str) -> SimulationSpec:
     return SimulationSpec(
         benchmark=benchmark,
@@ -165,6 +231,46 @@ def test_summary_matches_golden(bench_name: str, mode: str):
         "If this change is intentional, re-record the goldens "
         "(see this file's docstring) in the same commit."
     )
+
+
+def _closed_loop_spec(benchmark: str, literal: bool) -> SimulationSpec:
+    return SimulationSpec(
+        benchmark=benchmark,
+        mcd=True,
+        controller=AttackDecayController(
+            SCALED_OPERATING_POINT, literal_listing=literal
+        ),
+        scale=SCALE,
+        seed=3,
+    )
+
+
+@pytest.mark.parametrize("bench_name,literal", sorted(GOLDEN_CLOSED_LOOP))
+def test_closed_loop_summary_matches_golden(bench_name: str, literal: bool):
+    actual = summarize(run_spec(_closed_loop_spec(bench_name, literal)))
+    expected = GOLDEN_CLOSED_LOOP[(bench_name, literal)]
+    assert actual == expected, (
+        f"{bench_name}/literal_listing={literal} drifted:\n"
+        f"  expected {expected}\n  actual   {actual}\n"
+        "If this change is intentional, re-record the goldens "
+        "(see this file's docstring) in the same commit."
+    )
+
+
+def test_closed_loop_goldens_cover_both_listing_variants():
+    benchmarks = {b for b, _ in GOLDEN_CLOSED_LOOP}
+    assert len(benchmarks) >= 3
+    for benchmark in benchmarks:
+        assert (benchmark, False) in GOLDEN_CLOSED_LOOP
+        assert (benchmark, True) in GOLDEN_CLOSED_LOOP
+
+
+def test_closed_loop_goldens_hold_on_python_path_spotcheck():
+    """The closed-loop pins hold with the controller back in Python."""
+    for benchmark, literal in (("adpcm", True), ("mcf", False)):
+        spec = _closed_loop_spec(benchmark, literal)
+        spec.path = "python"
+        assert summarize(run_spec(spec)) == GOLDEN_CLOSED_LOOP[(benchmark, literal)]
 
 
 def test_goldens_cover_both_modes_evenly():

@@ -1,0 +1,95 @@
+"""Crash-safety contract of :func:`repro.ioutil.atomic_write`.
+
+The module docstring promises readers never observe a truncated entry,
+even across a power loss.  That requires a specific syscall order:
+write → flush → fsync(temp file) → rename → fsync(directory).  These
+tests pin the order by instrumenting the os-level calls — a regression
+that drops or reorders the fsync would silently reopen the
+publish-a-partial-file window the docstring rules out.
+"""
+
+from __future__ import annotations
+
+import os
+import stat
+
+import pytest
+
+from repro.ioutil import atomic_write
+
+
+class TestAtomicWriteBasics:
+    def test_writes_and_overwrites(self, tmp_path):
+        target = tmp_path / "entry.json"
+        with atomic_write(target, "w") as handle:
+            handle.write("one")
+        assert target.read_text() == "one"
+        with atomic_write(target, "w") as handle:
+            handle.write("two")
+        assert target.read_text() == "two"
+
+    def test_creates_missing_directories(self, tmp_path):
+        target = tmp_path / "a" / "b" / "entry.bin"
+        with atomic_write(target) as handle:
+            handle.write(b"\x00\x01")
+        assert target.read_bytes() == b"\x00\x01"
+
+    def test_exception_leaves_destination_untouched(self, tmp_path):
+        target = tmp_path / "entry.json"
+        target.write_text("intact")
+        with pytest.raises(RuntimeError):
+            with atomic_write(target, "w") as handle:
+                handle.write("partial")
+                raise RuntimeError("writer crashed")
+        assert target.read_text() == "intact"
+        assert list(tmp_path.glob("*.tmp")) == []
+
+
+class TestFsyncOrdering:
+    def test_temp_file_is_fsynced_before_replace(self, tmp_path, monkeypatch):
+        """The payload must be durable before the rename publishes it."""
+        events: list[tuple[str, str]] = []
+        real_fsync = os.fsync
+        real_replace = os.replace
+
+        def recording_fsync(fd):
+            mode = os.fstat(fd).st_mode
+            kind = "dir" if stat.S_ISDIR(mode) else "file"
+            events.append(("fsync", kind))
+            return real_fsync(fd)
+
+        def recording_replace(src, dst):
+            events.append(("replace", os.path.basename(dst)))
+            return real_replace(src, dst)
+
+        monkeypatch.setattr(os, "fsync", recording_fsync)
+        monkeypatch.setattr(os, "replace", recording_replace)
+
+        target = tmp_path / "entry.json"
+        with atomic_write(target, "w") as handle:
+            handle.write("durable")
+
+        assert target.read_text() == "durable"
+        replace_at = events.index(("replace", "entry.json"))
+        file_syncs = [
+            i for i, e in enumerate(events) if e == ("fsync", "file")
+        ]
+        assert file_syncs and file_syncs[0] < replace_at, (
+            f"temp file was not fsynced before os.replace: {events}"
+        )
+        # Best-effort directory fsync follows the rename, making the
+        # rename itself durable.
+        assert ("fsync", "dir") in events[replace_at + 1 :]
+
+    def test_no_replace_without_fsync(self, tmp_path, monkeypatch):
+        """If fsync fails, the entry must not be published at all."""
+
+        def failing_fsync(fd):
+            raise OSError("disk gone")
+
+        monkeypatch.setattr(os, "fsync", failing_fsync)
+        target = tmp_path / "entry.json"
+        with pytest.raises(OSError):
+            with atomic_write(target, "w") as handle:
+                handle.write("lost")
+        assert not target.exists()

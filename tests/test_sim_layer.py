@@ -30,6 +30,56 @@ class TestEngine:
         with pytest.raises(WorkloadError):
             run_spec(SimulationSpec(benchmark="nope"))
 
+    def test_unknown_path_raises(self):
+        with pytest.raises(ExperimentError, match="execution path"):
+            run_spec(SimulationSpec(benchmark="adpcm", scale=SCALE, path="warp"))
+
+    def test_explicit_paths_match_auto(self):
+        from repro.metrics.summary import summarize
+        from repro.uarch.native import load_hotpath
+
+        auto = summarize(run_spec(SimulationSpec(benchmark="adpcm", scale=SCALE)))
+        for path in ("generator", "python") + (
+            ("native",) if load_hotpath() is not None else ()
+        ):
+            forced = summarize(
+                run_spec(SimulationSpec(benchmark="adpcm", scale=SCALE, path=path))
+            )
+            assert forced == auto, f"{path} path diverged from auto"
+
+    def test_generator_path_on_compiled_core_raises(self):
+        from repro.errors import SimulationError
+        from repro.sim.engine import compiled_trace_for, scaled_mcd_config
+        from repro.uarch.core import MCDCore
+        from repro.workloads.catalog import get_benchmark
+        from repro.config.processor import ProcessorConfig
+
+        bench = get_benchmark("adpcm")
+        shift = ProcessorConfig().line_bytes.bit_length() - 1
+        core = MCDCore(
+            ProcessorConfig(),
+            scaled_mcd_config(),
+            compiled_trace_for(bench, scale=SCALE, line_shift=shift),
+        )
+        with pytest.raises(SimulationError, match="generator path"):
+            core.run(path="generator")
+        with pytest.raises(SimulationError, match="unknown execution path"):
+            core.run(path="warp")
+
+    def test_python_path_on_generator_core_raises(self):
+        from repro.errors import SimulationError
+        from repro.sim.engine import scaled_mcd_config
+        from repro.uarch.core import MCDCore
+        from repro.workloads.catalog import get_benchmark
+        from repro.config.processor import ProcessorConfig
+
+        bench = get_benchmark("adpcm")
+        core = MCDCore(
+            ProcessorConfig(), scaled_mcd_config(), bench.build_trace(scale=SCALE)
+        )
+        with pytest.raises(SimulationError, match="compiled trace"):
+            core.run(path="python")
+
     def test_global_frequency_applies_to_all_domains(self):
         result = run_spec(
             SimulationSpec(

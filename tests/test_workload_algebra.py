@@ -11,6 +11,7 @@ or derived scenarios can never silently drift results between paths.
 
 from __future__ import annotations
 
+import dataclasses
 import random
 
 import pytest
@@ -276,6 +277,82 @@ class TestDifferentialFuzz:
                 (r.end_instruction, r.end_time_ns, r.energy, r.memory_accesses)
                 for r in reference.intervals
             ], f"case {case} ({spec.datasets}): {label} intervals diverged"
+
+
+class TestClosedLoopNativeFuzz:
+    """Closed-loop attack/decay runs are byte-identical on every path.
+
+    Unlike :class:`TestDifferentialFuzz` (which records interval
+    traces, forcing the native loop onto its per-interval Python
+    callback), these cases run without interval recording — the exact
+    configuration where the native loop executes Listing 1 *inside C*
+    with zero per-interval Python crossings.  Each case asserts the
+    RunSummary, the per-domain controller diagnostics
+    (``DomainControlState``), the regulator request statistics and the
+    smoothed-IPC registers all match the generator reference, for both
+    ``literal_listing`` variants; on the native path it additionally
+    asserts ``on_interval`` was never called.
+    """
+
+    @pytest.mark.parametrize("case", range(16))
+    def test_paths_and_diagnostics_agree(self, case, monkeypatch):
+        rng = random.Random(7300 + case)
+        spec = _random_composition(rng)
+        literal = case % 2 == 1
+        mcd = case % 4 != 3  # mostly MCD, every fourth fully synchronous
+        seed = 1 + case % 5
+
+        calls = {"n": 0}
+        orig_on_interval = AttackDecayController.on_interval
+
+        def counting(self, snapshot):
+            calls["n"] += 1
+            return orig_on_interval(self, snapshot)
+
+        monkeypatch.setattr(AttackDecayController, "on_interval", counting)
+
+        def run(path):
+            if path == "generator":
+                trace = spec.build_trace()
+            else:
+                trace = compile_trace(spec.build_trace(), LINE_SHIFT)
+            controller = AttackDecayController(
+                SCALED_OPERATING_POINT, literal_listing=literal
+            )
+            core = MCDCore(
+                processor=ProcessorConfig(),
+                mcd_config=scaled_mcd_config(),
+                trace=trace,
+                controller=controller,
+                options=CoreOptions(
+                    mcd=mcd,
+                    seed=seed,
+                    interval_instructions=CATALOG_INTERVAL_INSTRUCTIONS,
+                ),
+            )
+            core.warm_up(trace, limit=trace.total_instructions)
+            result = core.run(path="auto" if path == "generator" else path)
+            return (
+                summarize(result),
+                {d: dataclasses.asdict(s) for d, s in controller.states.items()},
+                [dataclasses.asdict(r.stats) for r in core.regulators],
+                controller.prev_ipc,
+                controller._smoothed_ipc,
+            )
+
+        reference = run("generator")
+        assert calls["n"] > 0, f"case {case}: no control intervals exercised"
+        calls["n"] = 0
+        batched = run("python")
+        assert calls["n"] > 0
+        assert batched == reference, f"case {case}: python path diverged"
+        if native.load_hotpath() is not None:
+            calls["n"] = 0
+            native_run = run("native")
+            assert calls["n"] == 0, (
+                f"case {case}: native closed loop crossed into Python"
+            )
+            assert native_run == reference, f"case {case}: native path diverged"
 
 
 class TestRuntimeRegistrationIdentity:
