@@ -202,6 +202,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         )
         orchestrator = Orchestrator(
             workers=args.workers,
+            backend=args.backend,
             cache_dir=args.cache_dir,
             use_cache=False if args.no_cache else None,
         )
@@ -439,7 +440,18 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sweep_p.add_argument("--seeds", default="1", help="comma-separated clock seeds")
     sweep_p.add_argument(
-        "--workers", type=int, default=None, help="process count (REPRO_WORKERS)"
+        "--workers",
+        default=None,
+        help="worker count, or 'auto' for every core (REPRO_WORKERS)",
+    )
+    sweep_p.add_argument(
+        "--backend",
+        choices=["auto", "thread", "process", "serial"],
+        default=None,
+        help=(
+            "execution backend (REPRO_BACKEND); auto uses threads when "
+            "the GIL-releasing native loop is available, else processes"
+        ),
     )
     sweep_p.add_argument("--scale", type=float, default=None)
     sweep_p.add_argument("--cache-dir", default=None)

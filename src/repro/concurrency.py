@@ -1,0 +1,104 @@
+"""Small shared concurrency primitives.
+
+The free-threaded sweep engine puts thread-safe, size-bounded memo
+fronts in several layers (the result cache, the trace store).  They
+all want the same structure — a lock around an LRU-ordered dict —
+so it lives here once instead of being hand-rolled per site.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+
+
+class LockedLRU:
+    """A thread-safe LRU mapping bounded to ``entries`` items.
+
+    ``entries == 0`` disables the structure entirely: ``get`` always
+    misses and ``put`` is a no-op, so callers can keep one unguarded
+    code path for the memo-on and memo-off configurations.  Values are
+    shared by reference — callers must treat them as read-only.
+    """
+
+    def __init__(self, entries: int) -> None:
+        self.entries = max(0, entries)
+        self._lock = threading.Lock()
+        self._items: OrderedDict = OrderedDict()
+
+    def get(self, key):
+        """The value under ``key`` (refreshing recency), or None."""
+        if not self.entries:
+            return None
+        with self._lock:
+            value = self._items.get(key)
+            if value is not None:
+                self._items.move_to_end(key)
+            return value
+
+    def put(self, key, value) -> None:
+        """Insert ``key`` as most-recent, evicting the oldest overflow."""
+        if not self.entries:
+            return
+        with self._lock:
+            self._items[key] = value
+            self._items.move_to_end(key)
+            while len(self._items) > self.entries:
+                self._items.popitem(last=False)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._items)
+
+
+class SingleFlight:
+    """At-most-one concurrent build per key; late callers share the result.
+
+    The building blocks the sweep engine deduplicates — trace
+    generation, profiling runs — are exactly the expensive work a
+    cache exists to avoid, so a cache miss under concurrency must not
+    fan out into N identical builds.  :meth:`run` arbitrates: the
+    first caller for a key builds, everyone else waits on an event and
+    re-checks the caller's cache.  A failed build wakes the waiters
+    and lets the next one take over (the exception propagates to the
+    failed builder only).
+    """
+
+    def __init__(self) -> None:
+        #: Public: also guards the caller's cache structure (callers
+        #: may take it for maintenance operations like clear()).
+        self.lock = threading.Lock()
+        self._pending: dict = {}
+
+    def run(self, key, lookup, build, publish) -> tuple[object, bool]:
+        """Return ``lookup()``'s value, building it at most once.
+
+        ``lookup()`` and ``publish(value)`` execute under the internal
+        lock — they must be quick, non-reentrant cache accesses
+        returning/storing a non-None value.  ``build()`` executes
+        outside the lock.  Returns ``(value, hit)`` where ``hit`` is
+        True when the value came from ``lookup`` (possibly after
+        waiting on another caller's build).
+        """
+        while True:
+            with self.lock:
+                value = lookup()
+                if value is not None:
+                    return value, True
+                pending = self._pending.get(key)
+                if pending is None:
+                    pending = self._pending[key] = threading.Event()
+                    break
+            pending.wait()
+        try:
+            value = build()
+        except BaseException:
+            with self.lock:
+                del self._pending[key]
+            pending.set()
+            raise
+        with self.lock:
+            publish(value)
+            del self._pending[key]
+        pending.set()
+        return value, False

@@ -11,8 +11,9 @@ executes the product:
   ``dynamic_<pct>``, ``global@<mhz>``), registered on import;
 * :mod:`~repro.experiments.scenario` — declarative
   :class:`Scenario`/:class:`Suite` matrices;
-* :mod:`~repro.experiments.orchestrator` — multiprocessing execution
-  with per-run error isolation and a shared atomic cache;
+* :mod:`~repro.experiments.orchestrator` — serial/thread/process
+  execution backends with per-run error isolation and a shared atomic
+  cache (threads ride the GIL-releasing native hot loop);
 * :mod:`~repro.experiments.results` — the queryable :class:`ResultSet`.
 
 Quick start::
@@ -34,9 +35,15 @@ from repro.experiments.executor import (
     cache_enabled,
     default_workers,
     execute_scenario,
+    parse_workers,
     quick_benchmarks,
 )
-from repro.experiments.orchestrator import Orchestrator, run_suite
+from repro.experiments.orchestrator import (
+    BACKENDS,
+    Orchestrator,
+    default_backend,
+    run_suite,
+)
 from repro.experiments.registry import (
     CLOCKING_MODES,
     CONFIGURATIONS,
@@ -53,6 +60,7 @@ from repro.experiments.scenario import Scenario, Suite
 import repro.experiments.builtins  # noqa: F401  (populates the registries)
 
 __all__ = [
+    "BACKENDS",
     "CACHE_VERSION",
     "CLOCKING_MODES",
     "CONFIGURATIONS",
@@ -70,8 +78,10 @@ __all__ = [
     "benchmark_scale",
     "cache_enabled",
     "configuration_names",
+    "default_backend",
     "default_workers",
     "execute_scenario",
+    "parse_workers",
     "quick_benchmarks",
     "register_clocking_mode",
     "register_configuration",

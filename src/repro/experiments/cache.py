@@ -16,6 +16,7 @@ import json
 import logging
 from pathlib import Path
 
+from repro.concurrency import LockedLRU
 from repro.errors import ExperimentError
 from repro.ioutil import atomic_write
 
@@ -44,15 +45,34 @@ class CacheStore:
     enabled:
         When False every load misses and every store is a no-op
         (the ``REPRO_CACHE=0`` behaviour).
+    memory_entries:
+        Size of the optional write-through in-memory front (0 disables
+        it, the default).  With a front, ``store`` publishes to memory
+        *and* atomically to disk, and ``load`` serves recent keys
+        without a file read — this is how thread-pool sweep workers
+        share results inside one process while the on-disk store keeps
+        its cross-process/cross-session role.  The front is
+        thread-safe and LRU-bounded; callers must treat returned
+        payloads as read-only (every repo consumer immediately
+        converts them to records).
     """
 
     def __init__(
-        self, directory: Path | str | None = None, enabled: bool = True
+        self,
+        directory: Path | str | None = None,
+        enabled: bool = True,
+        memory_entries: int = 0,
     ) -> None:
         self.directory = (
             Path(directory) if directory is not None else DEFAULT_CACHE_DIR
         )
         self.enabled = enabled
+        self._memory = LockedLRU(memory_entries)
+
+    @property
+    def memory_entries(self) -> int:
+        """Capacity of the write-through memory front (0 = disabled)."""
+        return self._memory.entries
 
     def key(self, payload: dict) -> str:
         """Content-address a JSON-serialisable identity payload.
@@ -85,6 +105,9 @@ class CacheStore:
         """
         if not self.enabled:
             return None
+        cached = self._memory.get(key)
+        if cached is not None:
+            return cached
         path = self._path(key)
         try:
             text = path.read_text()
@@ -103,6 +126,7 @@ class CacheStore:
         if not isinstance(data, dict):
             logger.warning("cache entry %s has wrong shape; treating as miss", path)
             return None
+        self._memory.put(key, data)
         return data
 
     def store(self, key: str, payload: dict) -> None:
@@ -117,3 +141,4 @@ class CacheStore:
         text = json.dumps(payload, indent=1, sort_keys=True)
         with atomic_write(self._path(key), "w") as handle:
             handle.write(text)
+        self._memory.put(key, payload)

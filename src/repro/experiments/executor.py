@@ -16,7 +16,10 @@ Environment knobs
 ``REPRO_CACHE``
     Set to ``0`` to disable the on-disk cache.
 ``REPRO_WORKERS``
-    Default worker count for the orchestrator.
+    Default worker count for the orchestrator (``auto`` = all cores).
+``REPRO_BACKEND``
+    Default orchestrator backend (``auto``/``thread``/``process``/
+    ``serial``; see :mod:`repro.experiments.orchestrator`).
 """
 
 from __future__ import annotations
@@ -25,6 +28,7 @@ import os
 import traceback
 from pathlib import Path
 
+from repro.concurrency import SingleFlight
 from repro.errors import ExperimentError
 from repro.experiments.cache import CacheStore
 from repro.experiments.registry import CONFIGURATIONS
@@ -97,20 +101,53 @@ def cache_enabled() -> bool:
     return os.environ.get("REPRO_CACHE", "1") != "0"
 
 
-def default_workers() -> int:
-    """Worker count from ``REPRO_WORKERS`` (default 1: serial)."""
-    raw = os.environ.get("REPRO_WORKERS", "1")
+def parse_workers(raw: int | str | None, source: str = "workers") -> int:
+    """Resolve a worker-count setting to a concrete positive integer.
+
+    Accepts an int, a decimal string, or ``"auto"`` (all cores, i.e.
+    ``os.cpu_count()``); None means 1 (serial).  ``source`` names the
+    knob in error messages (``REPRO_WORKERS``, ``--workers``, ...).
+    """
+    if raw is None:
+        return 1
+    if isinstance(raw, int):
+        return max(1, raw)
+    text = str(raw).strip()
+    if text.lower() == "auto":
+        return max(1, os.cpu_count() or 1)
     try:
-        workers = int(raw)
+        workers = int(text)
     except ValueError:
         raise ExperimentError(
-            f"malformed REPRO_WORKERS {raw!r}: expected an integer"
+            f"malformed {source} {raw!r}: expected an integer or 'auto'"
         ) from None
     return max(1, workers)
 
 
+def default_workers() -> int:
+    """Worker count from ``REPRO_WORKERS`` (default 1: serial).
+
+    ``REPRO_WORKERS=auto`` resolves to the machine's core count
+    instead of silently running serially.
+    """
+    return parse_workers(os.environ.get("REPRO_WORKERS", "1"), "REPRO_WORKERS")
+
+
+#: Write-through memory front on each context's result store: results
+#: computed by any thread of a thread-pool sweep are immediately
+#: visible to the others without a disk read (entries are small result
+#: dicts, so the bound is generous).
+RESULT_MEMORY_ENTRIES = 4096
+
+
 class ExecutionContext:
     """Runs scenarios through the registry with caching.
+
+    A context is thread-safe and deliberately shared by every worker of
+    the orchestrator's thread backend: the result store has a
+    write-through in-memory front, and the profiling memo is
+    single-flighted so concurrent scenarios needing one profile compute
+    it once.
 
     Parameters
     ----------
@@ -135,8 +172,11 @@ class ExecutionContext:
         self.scale = benchmark_scale() if scale is None else scale
         self.seed = seed
         enabled = cache_enabled() if use_cache is None else use_cache
-        self.cache = CacheStore(cache_dir, enabled=enabled)
+        self.cache = CacheStore(
+            cache_dir, enabled=enabled, memory_entries=RESULT_MEMORY_ENTRIES
+        )
         self._profiles: dict[tuple[str, float, int], object] = {}
+        self._profiles_flight = SingleFlight()
 
     # --- effective scenario parameters ------------------------------------
     def effective_scale(self, scenario: Scenario) -> float:
@@ -238,15 +278,18 @@ class ExecutionContext:
     ):
         """Profile a benchmark at maximum frequencies (memoised).
 
-        The profile drives the off-line Dynamic schedules; one profiling
-        run per (benchmark, scale, seed) per process.
+        The profile drives the off-line Dynamic schedules; one
+        profiling run per (benchmark, scale, seed) per context, even
+        under the thread backend — concurrent callers for one key wait
+        on the first thread's profiling run and share its result.
         """
         from repro.control.offline import OfflineProfiler
 
         scale = self.scale if scale is None else scale
         seed = self.seed if seed is None else seed
         key = (benchmark, scale, seed)
-        if key not in self._profiles:
+
+        def build():
             profiler = OfflineProfiler()
             spec = SimulationSpec(
                 benchmark=benchmark,
@@ -256,8 +299,13 @@ class ExecutionContext:
                 seed=seed,
             )
             run_spec(spec)
-            self._profiles[key] = profiler.profile
-        return self._profiles[key]
+            return profiler.profile
+
+        profile, _ = self._profiles_flight.run(
+            key, lambda: self._profiles.get(key), build,
+            lambda value: self._profiles.setdefault(key, value),
+        )
+        return profile
 
 
 #: Per-process context reuse, so a pool worker keeps its in-memory

@@ -1,18 +1,38 @@
 """Parallel execution of a scenario matrix.
 
 The :class:`Orchestrator` takes a :class:`~repro.experiments.scenario.Suite`
-(or a plain scenario list), fans it out across a
-:mod:`multiprocessing` worker pool, and collects a
-:class:`~repro.experiments.results.ResultSet`.  Properties:
+(or a plain scenario list), fans it out across a worker backend, and
+collects a :class:`~repro.experiments.results.ResultSet`.  Properties:
 
 * **Determinism** — simulations are seeded and deterministic, and
   outcomes are returned in matrix order regardless of completion order,
-  so parallel and serial execution produce identical result sets.
+  so every backend produces identical result sets.
 * **Error isolation** — each run's failure is captured into its
   outcome (with a traceback); the rest of the matrix completes.
 * **Shared cache** — workers share the content-addressed on-disk store;
   writes are atomic (:mod:`repro.experiments.cache`), so a re-run hits
-  the same keys whichever process computed them.
+  the same keys whichever worker computed them.
+
+Backends
+--------
+``serial``
+    Everything in the calling thread; also what a 1-worker or 1-run
+    matrix degenerates to.
+``thread``
+    A :class:`~concurrent.futures.ThreadPoolExecutor` over one shared
+    :class:`~repro.experiments.executor.ExecutionContext`.  The native
+    hot loop releases the GIL for its compute stage, so runs genuinely
+    overlap while sharing the process's compiled-trace cache and the
+    write-through result front — no spawn cost, no per-worker npz
+    reloads, no registry snapshots.
+``process``
+    The :mod:`multiprocessing` pool (fork/spawn/forkserver via
+    ``start_method``); the right tool when the native loop is
+    unavailable and runs would serialise on the GIL.
+``auto``
+    ``thread`` when the native loop loads, else ``process``; an
+    explicit ``start_method`` also forces ``process`` (a thread pool
+    has no start method to honour).
 """
 
 from __future__ import annotations
@@ -22,6 +42,7 @@ import multiprocessing
 import os
 import pickle
 import time
+from concurrent.futures import ThreadPoolExecutor, as_completed
 from pathlib import Path
 from typing import Callable, Iterable, Sequence
 
@@ -31,11 +52,25 @@ from repro.experiments.executor import (
     benchmark_scale,
     default_workers,
     execute_scenario,
+    parse_workers,
 )
 from repro.experiments.results import ResultSet, RunOutcome
 from repro.experiments.scenario import Scenario, Suite
 
 logger = logging.getLogger(__name__)
+
+#: Recognised orchestrator backends.
+BACKENDS = ("auto", "serial", "thread", "process")
+
+
+def default_backend() -> str:
+    """Backend from ``REPRO_BACKEND`` (default ``auto``)."""
+    raw = os.environ.get("REPRO_BACKEND", "auto")
+    if raw not in BACKENDS:
+        raise ExperimentError(
+            f"unknown REPRO_BACKEND {raw!r}; expected one of {', '.join(BACKENDS)}"
+        )
+    return raw
 
 
 def _pool_entry(args: tuple) -> tuple[int, RunOutcome]:
@@ -121,13 +156,14 @@ def _init_worker(state: dict) -> None:
 
 
 class Orchestrator:
-    """Executes scenario matrices, serially or across worker processes.
+    """Executes scenario matrices across a serial/thread/process backend.
 
     Parameters
     ----------
     workers:
-        Process count; 1 (or None with ``REPRO_WORKERS`` unset) runs
-        serially in-process.
+        Worker count (int, decimal string, or ``"auto"`` for all
+        cores); 1 (or None with ``REPRO_WORKERS`` unset) runs serially
+        in-process.
     cache_dir:
         Result cache location shared by all workers.
     scale:
@@ -139,33 +175,62 @@ class Orchestrator:
     on_result:
         Optional callback invoked with each :class:`RunOutcome` as it
         completes (progress bars, live tables).
+    backend:
+        ``"auto"`` (default via ``REPRO_BACKEND``), ``"serial"``,
+        ``"thread"`` or ``"process"`` — see the module docstring for
+        the trade-offs.  ``auto`` picks threads when the GIL-releasing
+        native loop is available and processes otherwise.
     start_method:
-        Multiprocessing start method for the worker pool (``"fork"``,
-        ``"spawn"``, ``"forkserver"``); None defers to
-        ``REPRO_START_METHOD``, then to fork where available.  Every
-        method produces identical result sets: workers receive a
-        snapshot of runtime-registered benchmarks/configurations
-        through the pool initializer, so spawn contexts reproduce fork
-        results instead of silently dropping registrations.
+        Multiprocessing start method for the process backend
+        (``"fork"``, ``"spawn"``, ``"forkserver"``); None defers to
+        ``REPRO_START_METHOD``, then to fork where available.  Setting
+        it steers an ``auto`` backend to processes.  Every method
+        produces identical result sets: workers receive a snapshot of
+        runtime-registered benchmarks/configurations through the pool
+        initializer, so spawn contexts reproduce fork results instead
+        of silently dropping registrations.
     """
 
     def __init__(
         self,
-        workers: int | None = None,
+        workers: int | str | None = None,
         cache_dir: Path | str | None = None,
         scale: float | None = None,
         seed: int = 1,
         use_cache: bool | None = None,
         on_result: Callable[[RunOutcome], None] | None = None,
+        backend: str | None = None,
         start_method: str | None = None,
     ) -> None:
-        self.workers = default_workers() if workers is None else max(1, workers)
+        self.workers = (
+            default_workers() if workers is None else parse_workers(workers)
+        )
         self.cache_dir = cache_dir
         self.scale = benchmark_scale() if scale is None else scale
         self.seed = seed
         self.use_cache = use_cache
         self.on_result = on_result
+        if backend is not None and backend not in BACKENDS:
+            raise ExperimentError(
+                f"unknown backend {backend!r}; expected one of {', '.join(BACKENDS)}"
+            )
+        self.backend = backend
         self.start_method = start_method
+
+    def _resolve_backend(self, total: int) -> str:
+        """The concrete backend for a ``total``-scenario matrix."""
+        requested = self.backend or default_backend()
+        if requested == "serial" or self.workers <= 1 or total <= 1:
+            return "serial"
+        if requested == "auto":
+            if self.start_method or os.environ.get("REPRO_START_METHOD"):
+                return "process"  # a start method only means processes
+            from repro.uarch.native import load_hotpath
+
+            # Threads only pay off when the C loop drops the GIL for
+            # its compute stage; otherwise runs would serialise.
+            return "thread" if load_hotpath() is not None else "process"
+        return requested
 
     def _context(self) -> ExecutionContext:
         return ExecutionContext(
@@ -180,12 +245,16 @@ class Orchestrator:
         scenarios = list(matrix.expand() if isinstance(matrix, Suite) else matrix)
         total = len(scenarios)
         label = matrix.name if isinstance(matrix, Suite) else "matrix"
+        backend = self._resolve_backend(total)
         logger.info(
-            "%s: %d scenario(s) across %d worker(s)", label, total, self.workers
+            "%s: %d scenario(s) across %d worker(s) [%s backend]",
+            label, total, self.workers, backend,
         )
         started = time.perf_counter()
-        if self.workers <= 1 or total <= 1:
+        if backend == "serial":
             outcomes = self._run_serial(scenarios)
+        elif backend == "thread":
+            outcomes = self._run_threaded(scenarios)
         else:
             outcomes = self._run_parallel(scenarios)
         elapsed = time.perf_counter() - started
@@ -215,6 +284,35 @@ class Orchestrator:
             self._announce(outcome, i, len(scenarios))
             outcomes.append(outcome)
         return outcomes
+
+    def _run_threaded(self, scenarios: Sequence[Scenario]) -> list[RunOutcome]:
+        """Thread-pool backend: one shared context, GIL-free native runs.
+
+        All workers share one :class:`ExecutionContext` — and with it
+        the process-wide compiled-trace cache and the write-through
+        result front — so a sweep pays each trace load and each cached
+        result read once for the whole pool.  ``run_isolated`` captures
+        per-run failures, so a future never raises.
+        """
+        ctx = self._context()
+        total = len(scenarios)
+        ordered: list[RunOutcome | None] = [None] * total
+        done = 0
+        with ThreadPoolExecutor(
+            max_workers=min(self.workers, total),
+            thread_name_prefix="repro-sweep",
+        ) as pool:
+            futures = {
+                pool.submit(ctx.run_isolated, scenario): index
+                for index, scenario in enumerate(scenarios)
+            }
+            for future in as_completed(futures):
+                outcome = future.result()
+                ordered[futures[future]] = outcome
+                self._announce(outcome, done, total)
+                done += 1
+        assert all(o is not None for o in ordered)
+        return ordered  # type: ignore[return-value]
 
     def _mp_context(self):
         """The multiprocessing context honouring the configured method."""

@@ -17,9 +17,11 @@ per-instruction generator path (``compiled=False``), just faster; see
 
 from __future__ import annotations
 
+import os
 from collections import OrderedDict
 from dataclasses import dataclass, field
 
+from repro.concurrency import SingleFlight
 from repro.config.mcd import Domain, MCDConfig
 from repro.config.processor import ProcessorConfig
 from repro.control.base import FrequencyController
@@ -48,12 +50,92 @@ def scaled_mcd_config() -> MCDConfig:
     return MCDConfig(slew_ns_per_mhz=SCALED_SLEW_NS_PER_MHZ)
 
 
-#: Shared on-disk store of compiled traces plus a small in-process LRU
-#: (a few compiled traces are tens of MB of column lists; orchestrator
-#: workers run scenario batches benchmark-major, so a short memo wins).
-_TRACE_STORE = TraceStore()
-_TRACE_MEMO: OrderedDict[tuple[str, int], CompiledTrace] = OrderedDict()
-_TRACE_MEMO_LIMIT = 4
+def trace_cache_entries() -> int:
+    """Capacity of the in-process compiled-trace cache.
+
+    ``REPRO_TRACE_CACHE`` overrides the default of 8 entries (a
+    compiled trace is tens of MB of column lists at full scale, so the
+    bound is deliberately modest; raise it for wide thread-pool sweeps
+    over many distinct benchmarks on a big-memory host).
+    """
+    raw = os.environ.get("REPRO_TRACE_CACHE", "8")
+    try:
+        entries = int(raw)
+    except ValueError:
+        raise ExperimentError(
+            f"malformed REPRO_TRACE_CACHE {raw!r}: expected an integer"
+        ) from None
+    return max(1, entries)
+
+
+class TraceCache:
+    """Process-wide, thread-safe, size-bounded cache of compiled traces.
+
+    Keyed by (content hash, line shift); one instance is shared by
+    every run in the process, so N thread-pool workers sweeping the
+    same benchmarks load and compile each trace once instead of N
+    times.  Lookups are LRU; concurrent misses on one key are
+    single-flighted — the first thread builds while the others wait on
+    an event and then reuse the result, because building a trace
+    (generate + columnise) is exactly the expensive work the cache
+    exists to avoid repeating.
+    """
+
+    def __init__(self, entries: int | None = None) -> None:
+        # None defers to REPRO_TRACE_CACHE, resolved lazily so a
+        # malformed value surfaces as an ExperimentError inside run
+        # handling, not as an import-time crash of every entry point.
+        self._entries = None if entries is None else max(1, entries)
+        self._items: OrderedDict[tuple[str, int], CompiledTrace] = OrderedDict()
+        self._flight = SingleFlight()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    @property
+    def entries(self) -> int:
+        """The capacity bound (resolving ``REPRO_TRACE_CACHE`` lazily)."""
+        if self._entries is None:
+            self._entries = trace_cache_entries()
+        return self._entries
+
+    def get_or_build(self, key: tuple[str, int], build) -> CompiledTrace:
+        """The cached trace under ``key``, building it at most once."""
+        entries = self.entries  # resolve (and maybe raise) up front
+
+        def lookup():
+            # Runs under the flight lock, which guards _items too.
+            item = self._items.get(key)
+            if item is not None:
+                self._items.move_to_end(key)
+                self.hits += 1
+            return item
+
+        def publish(item):
+            self._items[key] = item
+            self._items.move_to_end(key)
+            while len(self._items) > entries:
+                self._items.popitem(last=False)
+                self.evictions += 1
+            self.misses += 1
+
+        item, _ = self._flight.run(key, lookup, build, publish)
+        return item
+
+    def clear(self) -> None:
+        """Drop every cached trace (testing/maintenance hook)."""
+        with self._flight.lock:
+            self._items.clear()
+
+
+#: Shared on-disk store of compiled traces plus the process-wide
+#: compiled-trace cache above.  The store's column memo is kept small:
+#: for a single cache-line geometry the TraceCache already answers
+#: repeat lookups, so the memo only needs to cover the re-derivation
+#: window (same key, different line_shift, or a TraceCache eviction)
+#: without pinning every benchmark's raw columns in memory twice.
+_TRACE_STORE = TraceStore(memo_entries=2)
+_TRACE_MEMO = TraceCache()
 
 
 def compiled_trace_for(
@@ -64,9 +146,10 @@ def compiled_trace_for(
 ) -> CompiledTrace:
     """The benchmark's compiled trace, through cache layers.
 
-    Lookup order: in-process LRU, then the on-disk ``TraceStore``
-    (disabled by ``REPRO_CACHE=0``), then generate-and-compile.  The
-    content-hash key joins the full trace identity
+    Lookup order: the process-wide :class:`TraceCache`, then the
+    on-disk ``TraceStore`` (disabled by ``REPRO_CACHE=0``), then
+    generate-and-compile.  The content-hash key joins the full trace
+    identity
     (:meth:`~repro.workloads.catalog.BenchmarkSpec.trace_payload`),
     ``COMPILED_TRACE_VERSION``, and the experiment cache's
     ``CACHE_VERSION``, so bumping either version invalidates stale
@@ -74,7 +157,12 @@ def compiled_trace_for(
     stays *out* of the disk key — the store persists only the
     geometry-independent base columns and re-derives for
     ``line_shift`` on load, so one stored trace serves every geometry;
-    only the in-process memo is keyed per shift.
+    only the in-process cache is keyed per shift.
+
+    Thread-safe: concurrent callers for one trace wait on a single
+    build, and the returned instance is safely shared across threads
+    (the native path treats it read-only; the batched Python path
+    leases or copies the mutable templates).
     """
     # Deferred imports: repro.experiments imports this module.
     from repro.experiments.cache import CACHE_VERSION
@@ -83,23 +171,19 @@ def compiled_trace_for(
     payload = bench.trace_payload(scale, seed_offset)
     payload["cache_version"] = CACHE_VERSION
     key = _TRACE_STORE.key(payload)
-    memo_key = (key, line_shift)
-    cached = _TRACE_MEMO.get(memo_key)
-    if cached is not None:
-        _TRACE_MEMO.move_to_end(memo_key)
-        return cached
-    use_disk = cache_enabled()
-    compiled = _TRACE_STORE.load(key, line_shift) if use_disk else None
-    if compiled is None:
-        trace = bench.build_trace(scale=scale, seed_offset=seed_offset)
-        columns = trace_columns(trace)
-        if use_disk:
-            _TRACE_STORE.store(key, columns)
-        compiled = from_columns(columns, line_shift)
-    _TRACE_MEMO[memo_key] = compiled
-    while len(_TRACE_MEMO) > _TRACE_MEMO_LIMIT:
-        _TRACE_MEMO.popitem(last=False)
-    return compiled
+
+    def build() -> CompiledTrace:
+        use_disk = cache_enabled()
+        compiled = _TRACE_STORE.load(key, line_shift) if use_disk else None
+        if compiled is None:
+            trace = bench.build_trace(scale=scale, seed_offset=seed_offset)
+            columns = trace_columns(trace)
+            if use_disk:
+                _TRACE_STORE.store(key, columns)
+            compiled = from_columns(columns, line_shift)
+        return compiled
+
+    return _TRACE_MEMO.get_or_build((key, line_shift), build)
 
 
 @dataclass

@@ -17,6 +17,25 @@
  * recording fall back to the per-interval `rollover` Python callback.
  * See repro/uarch/native.py for the build/load glue and controller
  * marshalling, and MCDCore._run_compiled_native for the marshal layer.
+ *
+ * run_compiled executes in three stages so a whole sweep can run on a
+ * thread pool inside one process:
+ *
+ *   1. marshal   — all PyObject access and buffer extraction (GIL held);
+ *   2. compute   — the event loop, pure C over local state, with the
+ *                  GIL RELEASED (Py_BEGIN_ALLOW_THREADS).  Its only
+ *                  Python crossings are the jitter `refill` and the
+ *                  per-interval `rollover` callbacks, bridged through
+ *                  shims that re-acquire the GIL for the call;
+ *   3. writeback — fold results into the owning objects (GIL held).
+ *
+ * Reentrancy audit: this file holds NO mutable state with static
+ * storage duration — every array, ring buffer and counter lives on
+ * run_compiled's stack or in per-call PyMem allocations, and the
+ * buffers handed in through the argument dict are created per run by
+ * MCDCore._run_compiled_native.  Concurrent run_compiled calls from
+ * different threads therefore never share writable memory, which is
+ * what makes the thread-pool sweep backend sound.
  */
 #define PY_SSIZE_T_CLEAN
 #include <Python.h>
@@ -183,6 +202,65 @@ ints_to_list(PyObject *list, const int64_t *vals, Py_ssize_t n)
             return -1;
     }
     return 0;
+}
+
+/* ---------------------------------------------------- GIL bridge shims */
+
+/* The compute stage runs with the GIL released; these shims are its
+ * only two Python crossings.  Each re-acquires the GIL just for the
+ * callback and releases it again before returning, so other threads'
+ * compute stages keep running while this one calls back.  On failure
+ * the Python exception is left pending in this thread's state and -1
+ * is returned; the caller must break out of the loop and touch no
+ * Python API until the compute stage ends with the GIL re-acquired. */
+
+static int
+refill_jitter(PyObject *refill, int d, double **jbuf, Py_ssize_t *jlen,
+              PyThreadState **tstate)
+{
+    int status = -1;
+    PyEval_RestoreThread(*tstate);
+    PyObject *arr = PyObject_CallFunction(refill, "i", d);
+    if (arr != NULL) {
+        Py_buffer jview;
+        if (PyObject_GetBuffer(arr, &jview, PyBUF_C_CONTIGUOUS) == 0) {
+            Py_ssize_t k = jview.len / sizeof(double);
+            double *fresh = PyMem_Malloc((k ? k : 1) * sizeof(double));
+            if (fresh == NULL) {
+                PyErr_NoMemory();
+            } else {
+                memcpy(fresh, jview.buf, k * sizeof(double));
+                PyMem_Free(*jbuf);
+                *jbuf = fresh;
+                *jlen = k;
+                status = 0;
+            }
+            PyBuffer_Release(&jview);
+        }
+        Py_DECREF(arr);
+    }
+    *tstate = PyEval_SaveThread();
+    return status;
+}
+
+static int
+rollover_callback(PyObject *rollover, long long index, long long retired,
+                  double t, double duration, long long occ1, long long occ2,
+                  long long occ3, const int64_t busy[4], long long mem,
+                  PyThreadState **tstate)
+{
+    int status = -1;
+    PyEval_RestoreThread(*tstate);
+    PyObject *res = PyObject_CallFunction(
+        rollover, "LLddLLLLLLLL", index, retired, t, duration, occ1, occ2,
+        occ3, (long long)busy[0], (long long)busy[1], (long long)busy[2],
+        (long long)busy[3], mem);
+    if (res != NULL) {
+        Py_DECREF(res);
+        status = 0;
+    }
+    *tstate = PyEval_SaveThread();
+    return status;
 }
 
 /* ------------------------------------------------------------ the loop */
@@ -505,6 +583,10 @@ run_compiled(PyObject *self, PyObject *args)
     int64_t busy_in_interval[4] = {0, 0, 0, 0};
     const char *error = NULL;
 
+    /* ---- compute stage: pure C, GIL released ------------------------- */
+    int py_error = 0;
+    PyThreadState *tstate = PyEval_SaveThread();
+
     while (retired < total) {
         int d = 0;
         double t = edge_ns[0];
@@ -613,18 +695,15 @@ run_compiled(PyObject *self, PyObject *args)
                 int64_t occ1 = q_occ[1], occ2 = q_occ[2], occ3 = q_occ[3];
                 q_occ[1] = q_occ[2] = q_occ[3] = 0;
                 if (call_rollover) {
-                    PyObject *cb_res = PyObject_CallFunction(
-                        rollover, "LLddLLLLLLLL",
-                        (long long)(interval_index - 1), (long long)retired,
-                        t, duration, (long long)occ1, (long long)occ2,
-                        (long long)occ3, (long long)busy_in_interval[0],
-                        (long long)busy_in_interval[1],
-                        (long long)busy_in_interval[2],
-                        (long long)busy_in_interval[3],
-                        (long long)memory_accesses);
-                    if (cb_res == NULL)
-                        goto fail;
-                    Py_DECREF(cb_res);
+                    if (rollover_callback(
+                            rollover, (long long)(interval_index - 1),
+                            (long long)retired, t, duration, (long long)occ1,
+                            (long long)occ2, (long long)occ3,
+                            busy_in_interval, (long long)memory_accesses,
+                            &tstate) < 0) {
+                        py_error = 1;
+                        break;
+                    }
                     /* Pick up controller-applied regulator changes.
                      * NOTE: vscale deliberately stays the value bound
                      * at the top of this cycle, like the Python paths. */
@@ -1022,28 +1101,10 @@ run_compiled(PyObject *self, PyObject *args)
             /* inlined clock advance */
             double step;
             if (mcd_mode) {
-                if (jlen[0] == 0) {
-                    PyObject *arr = PyObject_CallFunction(refill, "i", 0);
-                    if (arr == NULL)
-                        goto fail;
-                    Py_buffer jview;
-                    if (PyObject_GetBuffer(arr, &jview, PyBUF_C_CONTIGUOUS) < 0) {
-                        Py_DECREF(arr);
-                        goto fail;
-                    }
-                    Py_ssize_t k = jview.len / sizeof(double);
-                    PyMem_Free(jbuf[0]);
-                    jbuf[0] = PyMem_Malloc((k ? k : 1) * sizeof(double));
-                    if (jbuf[0] == NULL) {
-                        PyBuffer_Release(&jview);
-                        Py_DECREF(arr);
-                        PyErr_NoMemory();
-                        goto fail;
-                    }
-                    memcpy(jbuf[0], jview.buf, k * sizeof(double));
-                    jlen[0] = k;
-                    PyBuffer_Release(&jview);
-                    Py_DECREF(arr);
+                if (jlen[0] == 0
+                    && refill_jitter(refill, 0, &jbuf[0], &jlen[0], &tstate) < 0) {
+                    py_error = 1;
+                    break;
                 }
                 step = cur_period[0] + jbuf[0][--jlen[0]];
                 if (step < MIN_STEP_NS)
@@ -1302,28 +1363,10 @@ run_compiled(PyObject *self, PyObject *args)
             /* inlined clock advance */
             double step;
             if (mcd_mode) {
-                if (jlen[d] == 0) {
-                    PyObject *arr = PyObject_CallFunction(refill, "i", d);
-                    if (arr == NULL)
-                        goto fail;
-                    Py_buffer jview;
-                    if (PyObject_GetBuffer(arr, &jview, PyBUF_C_CONTIGUOUS) < 0) {
-                        Py_DECREF(arr);
-                        goto fail;
-                    }
-                    Py_ssize_t k = jview.len / sizeof(double);
-                    PyMem_Free(jbuf[d]);
-                    jbuf[d] = PyMem_Malloc((k ? k : 1) * sizeof(double));
-                    if (jbuf[d] == NULL) {
-                        PyBuffer_Release(&jview);
-                        Py_DECREF(arr);
-                        PyErr_NoMemory();
-                        goto fail;
-                    }
-                    memcpy(jbuf[d], jview.buf, k * sizeof(double));
-                    jlen[d] = k;
-                    PyBuffer_Release(&jview);
-                    Py_DECREF(arr);
+                if (jlen[d] == 0
+                    && refill_jitter(refill, d, &jbuf[d], &jlen[d], &tstate) < 0) {
+                    py_error = 1;
+                    break;
                 }
                 step = cur_period[d] + jbuf[d][--jlen[d]];
                 if (step < MIN_STEP_NS)
@@ -1343,7 +1386,7 @@ run_compiled(PyObject *self, PyObject *args)
     }
 
     double wall = edge_ns[0];
-    if (error == NULL) {
+    if (!py_error && error == NULL) {
         /* Final catch-up: idle tails of inactive domains. */
         for (int i = 1; i < 4; i++) {
             double dt = wall - reg_last[i];
@@ -1377,6 +1420,11 @@ run_compiled(PyObject *self, PyObject *args)
             }
         }
     }
+
+    /* ---- end of compute stage: re-acquire the GIL -------------------- */
+    PyEval_RestoreThread(tstate);
+    if (py_error)
+        goto fail; /* callback exception already pending */
 
     /* --- marshal state back ------------------------------------------- */
     if (sets_to_list(l1i_sets_o, l1i_nsets, l1i_ways, l1i_tags, l1i_cnt)

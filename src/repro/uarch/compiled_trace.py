@@ -47,12 +47,14 @@ from __future__ import annotations
 import hashlib
 import json
 import logging
+import threading
 import zipfile
 from pathlib import Path
 from typing import Iterator
 
 import numpy as np
 
+from repro.concurrency import LockedLRU
 from repro.errors import TraceError
 from repro.ioutil import atomic_write
 from repro.uarch.isa import DEST_REGISTER_TYPE, ISSUE_DOMAIN_INDEX, NUM_CLASSES
@@ -88,6 +90,12 @@ class CompiledTrace:
     (copied per run before consuming) and the time slots of
     ``templates`` entries (reset at dispatch), so one compiled trace
     serves any number of sequential runs.
+
+    Concurrent runs are supported too: the native path never touches
+    ``templates`` and copies ``newline``, so it shares one instance
+    freely across threads; the batched Python path takes an exclusive
+    lease on the shared template lists (:meth:`lease_templates`) and
+    concurrent lessees transparently get a private copy.
     """
 
     __slots__ = (
@@ -105,6 +113,8 @@ class CompiledTrace:
         "newline",
         "templates",
         "arrays",
+        "_lease_lock",
+        "_templates_leased",
     )
 
     def __init__(
@@ -140,6 +150,38 @@ class CompiledTrace:
         #: int64 numpy views of the columns (plus resolved dependency
         #: pointers p1/p2), consumed zero-copy by the native hot path.
         self.arrays = arrays or {}
+        self._lease_lock = threading.Lock()
+        self._templates_leased = False
+
+    # --- template leasing (thread-safe sharing) ------------------------------
+    def lease_templates(self) -> tuple[list[list], bool]:
+        """Exclusive lease on the shared ``templates`` lists.
+
+        The batched Python path mutates the per-entry time slots in
+        place, so concurrent runs over one shared compiled trace must
+        not share them.  The first caller — the only one, in serial
+        use — gets the shared lists for free; a caller arriving while
+        the lease is out gets a private, equivalent copy (the mutable
+        slots are reset at dispatch, so a zeroed copy is
+        indistinguishable from a reused list).  Pass the returned flag
+        to :meth:`release_templates` when the run finishes.
+        """
+        with self._lease_lock:
+            if not self._templates_leased:
+                self._templates_leased = True
+                return self.templates, True
+        # Rebuild from the immutable slots only (0/1/3/4/5); the time
+        # slots may be mid-mutation by the lease holder.
+        return [
+            [row[0], row[1], 0.0, row[3], row[4], row[5], 0.0]
+            for row in self.templates
+        ], False
+
+    def release_templates(self, owned: bool) -> None:
+        """Return the shared templates taken by :meth:`lease_templates`."""
+        if owned:
+            with self._lease_lock:
+                self._templates_leased = False
 
     # --- TraceStream protocol ------------------------------------------------
     @property
@@ -273,15 +315,34 @@ class TraceStore:
         Where entries live; created on first store.
     enabled:
         When False every load misses and every store is a no-op.
+    memo_entries:
+        Size of the optional in-memory column memo (0 disables it, the
+        default).  With a memo, repeated loads of one key — the same
+        spec run again, or the same trace at a different cache-line
+        geometry — reuse the validated base columns instead of
+        re-reading and re-checksumming the ``.npz`` from disk, and a
+        ``store`` immediately primes the memo for its own key.  The
+        memo is thread-safe and LRU-bounded; memoised columns are
+        treated as read-only (``from_columns`` never mutates its
+        inputs).
     """
 
     def __init__(
-        self, directory: Path | str | None = None, enabled: bool = True
+        self,
+        directory: Path | str | None = None,
+        enabled: bool = True,
+        memo_entries: int = 0,
     ) -> None:
         self.directory = (
             Path(directory) if directory is not None else DEFAULT_TRACE_DIR
         )
         self.enabled = enabled
+        self._memo = LockedLRU(memo_entries)
+
+    @property
+    def memo_entries(self) -> int:
+        """Capacity of the in-memory column memo (0 = disabled)."""
+        return self._memo.entries
 
     def key(self, payload: dict) -> str:
         """Content-address a JSON-serialisable trace identity payload.
@@ -317,6 +378,9 @@ class TraceStore:
         """
         if not self.enabled:
             return None
+        columns = self._memo.get(key)
+        if columns is not None:
+            return from_columns(columns, line_shift)
         path = self._path(key)
         try:
             with np.load(path) as data:
@@ -331,6 +395,7 @@ class TraceStore:
                 "trace entry %s unreadable (%s); treating as miss", path, exc
             )
             return None
+        self._memo.put(key, columns)
         return from_columns(columns, line_shift)
 
     def store(self, key: str, columns: tuple[np.ndarray, ...]) -> None:
@@ -349,3 +414,4 @@ class TraceStore:
                 taken=taken.astype(np.uint8),
                 targets=targets.astype(np.int64),
             )
+        self._memo.put(key, columns)

@@ -1420,6 +1420,26 @@ class MCDCore:
     # the run — batched fast path
     # ------------------------------------------------------------------
     def _run_compiled(self) -> CoreResult:
+        """Batched Python path, with the shared templates leased.
+
+        The template lists are the only part of a
+        :class:`~repro.uarch.compiled_trace.CompiledTrace` this path
+        mutates in place, so they are taken under an exclusive lease
+        for the duration of the run: the common serial caller gets the
+        shared lists, a concurrent caller (thread-pool sweep backend
+        with the native loop unavailable) transparently runs over a
+        private copy.  Either way the results are byte-identical.
+        """
+        comp = self.compiled
+        templates, owned = comp.lease_templates()
+        self._leased_templates = templates
+        try:
+            return self._run_compiled_leased()
+        finally:
+            self._leased_templates = None
+            comp.release_templates(owned)
+
+    def _run_compiled_leased(self) -> CoreResult:
         """Batched fast path over a compiled trace's columns.
 
         This mirrors :meth:`_run_generator` event for event — same edge
@@ -1449,7 +1469,7 @@ class MCDCore:
         targets_c = comp.targets
         dest_c = comp.dest
         qd_c = comp.domain
-        tmpl_c = comp.templates
+        tmpl_c = self._leased_templates
         newline = comp.newline.copy()  # cleared at each first-attempt I-probe
 
         clocks = self.clocks

@@ -12,6 +12,17 @@ FP contraction (``-ffp-contract=off``): a fused multiply-add rounds
 once where CPython rounds twice, and the equivalence property tests
 would catch the drift.
 
+The artifact stamp covers everything that determines codegen: the C
+source, the interpreter ABI, and the resolved compiler (path plus
+``--version`` output), so switching ``CC`` or upgrading the toolchain
+rebuilds instead of silently reusing a stale ``.so``.
+
+Loading is thread-safe: the first caller (from any thread — the
+orchestrator's thread backend probes this module concurrently)
+compiles and loads under a lock, everyone else reuses the cached
+module object.  The extension itself releases the GIL for its compute
+stage, so concurrent runs over it genuinely overlap.
+
 Everything degrades gracefully: no compiler, a failed build, or
 ``REPRO_NATIVE=0`` simply mean :func:`load_hotpath` returns ``None``
 and the core stays on the pure-Python compiled path.
@@ -27,6 +38,7 @@ import os
 import shutil
 import subprocess
 import sysconfig
+import threading
 from pathlib import Path
 
 logger = logging.getLogger(__name__)
@@ -36,6 +48,7 @@ _BUILD_DIR = Path(__file__).resolve().parents[3] / "build" / "hotpath"
 
 _cached: object | None = None
 _attempted = False
+_load_lock = threading.Lock()
 
 
 def native_enabled() -> bool:
@@ -43,23 +56,57 @@ def native_enabled() -> bool:
     return os.environ.get("REPRO_NATIVE", "1") != "0"
 
 
-def _build_stamp() -> str:
-    """Content hash naming the built artifact (source + interpreter ABI)."""
-    payload = _SOURCE.read_bytes() + sysconfig.get_python_version().encode()
-    return hashlib.sha1(payload).hexdigest()[:16]
-
-
-def _compile(so_path: Path) -> bool:
-    """Compile ``_hotpath.c`` into ``so_path``; False when impossible."""
-    compiler = (
+def _resolve_compiler() -> str | None:
+    """The C compiler to build with (``CC``, else cc/gcc/clang), or None."""
+    return (
         os.environ.get("CC")
         or shutil.which("cc")
         or shutil.which("gcc")
         or shutil.which("clang")
     )
-    if compiler is None:
-        logger.info("hotpath: no C compiler found; using the Python path")
-        return False
+
+
+def _compiler_identity(compiler: str) -> bytes:
+    """Codegen identity of ``compiler``: resolved path + ``--version``.
+
+    ``cc`` is usually a symlink and ``CC`` an arbitrary name, so the
+    resolved path alone is not enough — a toolchain upgrade keeps the
+    path but changes codegen.  The ``--version`` banner captures that;
+    if the compiler cannot report one, the path still distinguishes
+    different toolchains.
+    """
+    resolved = shutil.which(compiler) or compiler
+    try:
+        proc = subprocess.run(
+            [compiler, "--version"],
+            capture_output=True,
+            text=True,
+            timeout=30,
+            check=False,
+        )
+        banner = proc.stdout + proc.stderr
+    except (OSError, subprocess.TimeoutExpired):
+        banner = ""
+    return f"{resolved}\n{banner}".encode()
+
+
+def _build_stamp(compiler: str) -> str:
+    """Content hash naming the built artifact.
+
+    Covers the C source, the interpreter ABI, and the compiler
+    identity, so changing any of them builds (and loads) a fresh
+    ``.so`` instead of reusing one produced by different codegen.
+    """
+    payload = (
+        _SOURCE.read_bytes()
+        + sysconfig.get_python_version().encode()
+        + _compiler_identity(compiler)
+    )
+    return hashlib.sha1(payload).hexdigest()[:16]
+
+
+def _compile(so_path: Path, compiler: str) -> bool:
+    """Compile ``_hotpath.c`` into ``so_path``; False when impossible."""
     include = sysconfig.get_paths()["include"]
     so_path.parent.mkdir(parents=True, exist_ok=True)
     tmp = so_path.with_suffix(f".{os.getpid()}.tmp.so")
@@ -178,24 +225,39 @@ def load_hotpath():
     """The ``_hotpath`` extension module, or None when unavailable.
 
     The first call may compile the extension; the result (including
-    failure) is cached for the life of the process.
+    failure) is cached for the life of the process.  Safe to call from
+    any thread — the first loader holds a lock, later callers (and
+    later threads) hit the cached module without taking it.
     """
     global _cached, _attempted
     if _attempted:
         return _cached
-    _attempted = True
-    if not native_enabled():
-        return None
-    try:
-        so_path = _BUILD_DIR / f"_hotpath-{_build_stamp()}.so"
-        if not so_path.exists() and not _compile(so_path):
+    with _load_lock:
+        if _attempted:
+            return _cached
+        if not native_enabled():
+            _attempted = True
             return None
-        loader = importlib.machinery.ExtensionFileLoader("_hotpath", str(so_path))
-        spec = importlib.util.spec_from_loader("_hotpath", loader)
-        module = importlib.util.module_from_spec(spec)
-        loader.exec_module(module)
-        _cached = module
-    except Exception as exc:  # noqa: BLE001 - any failure means fallback
-        logger.warning("hotpath: load failed (%s); using the Python path", exc)
-        _cached = None
+        try:
+            compiler = _resolve_compiler()
+            if compiler is None:
+                logger.info(
+                    "hotpath: no C compiler found; using the Python path"
+                )
+            else:
+                so_path = _BUILD_DIR / f"_hotpath-{_build_stamp(compiler)}.so"
+                if so_path.exists() or _compile(so_path, compiler):
+                    loader = importlib.machinery.ExtensionFileLoader(
+                        "_hotpath", str(so_path)
+                    )
+                    spec = importlib.util.spec_from_loader("_hotpath", loader)
+                    module = importlib.util.module_from_spec(spec)
+                    loader.exec_module(module)
+                    _cached = module
+        except Exception as exc:  # noqa: BLE001 - any failure means fallback
+            logger.warning(
+                "hotpath: load failed (%s); using the Python path", exc
+            )
+            _cached = None
+        _attempted = True
     return _cached
