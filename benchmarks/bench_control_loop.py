@@ -36,7 +36,7 @@ from pathlib import Path
 if str(Path(__file__).resolve().parent) not in sys.path:
     sys.path.insert(0, str(Path(__file__).resolve().parent))
 
-from conftest import save_results
+from conftest import save_bench
 
 from repro.config.algorithm import SCALED_OPERATING_POINT
 from repro.config.processor import ProcessorConfig
@@ -161,8 +161,7 @@ def run_bench(check_floor: bool = False) -> dict:
         )
     print(line)
 
-    payload = {"runs": rows, "aggregate": aggregate}
-    save_results("bench_control_loop", payload)
+    payload = save_bench("bench_control_loop", runs=rows, aggregate=aggregate)
 
     if check_floor and native:
         ratio = aggregate["native_vs_python"]

@@ -17,14 +17,24 @@ Three measurements per benchmark:
   byte-identical, every time.
 
 Environment knobs: ``REPRO_SCALE``, ``REPRO_BENCHMARKS`` (subset),
-``REPRO_NATIVE=0`` (force the pure-Python compiled path).
+``REPRO_NATIVE=0`` (force the pure-Python compiled path).  The
+acceptance floor is asserted under pytest and by ``--check-floor``:
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_engine_hotpath.py -s
+    PYTHONPATH=src python benchmarks/bench_engine_hotpath.py --check-floor
 """
 
 from __future__ import annotations
 
+import argparse
+import sys
 import time
+from pathlib import Path
 
-from conftest import save_results
+if str(Path(__file__).resolve().parent) not in sys.path:
+    sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from conftest import save_bench
 
 from repro.config.algorithm import SCALED_OPERATING_POINT
 from repro.config.processor import ProcessorConfig
@@ -79,7 +89,8 @@ def _best_of(bench, trace, repeats: int = 3):
     return result, best
 
 
-def test_engine_hotpath():
+def run_bench(check_floor: bool = False) -> dict:
+    """Measure both paths on every benchmark; returns the saved payload."""
     scale = benchmark_scale()
     names = quick_benchmarks(default=HOTPATH_BENCHMARKS)
     native = load_hotpath() is not None
@@ -134,10 +145,35 @@ def test_engine_hotpath():
         f"  (native loop: {native})"
     )
 
-    save_results("bench_engine_hotpath", {"runs": rows, "aggregate": aggregate})
+    payload = save_bench("bench_engine_hotpath", runs=rows, aggregate=aggregate)
 
-    floor = NATIVE_FLOOR if native else PYTHON_FLOOR
-    assert aggregate["speedup"] >= floor, (
-        f"compiled hot path is {aggregate['speedup']:.2f}x the generator "
-        f"path; expected >= {floor}x (native={native})"
+    if check_floor:
+        floor = NATIVE_FLOOR if native else PYTHON_FLOOR
+        assert aggregate["speedup"] >= floor, (
+            f"compiled hot path is {aggregate['speedup']:.2f}x the generator "
+            f"path; expected >= {floor}x (native={native})"
+        )
+    return payload
+
+
+def test_engine_hotpath():
+    # The floor binds on every path: even the pure-Python batched loop
+    # must beat the generator reference.
+    run_bench(check_floor=True)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--check-floor",
+        action="store_true",
+        help=f"fail unless compiled >= {NATIVE_FLOOR}x generator "
+        f"(native) / {PYTHON_FLOOR}x (pure Python)",
     )
+    args = parser.parse_args(argv)
+    run_bench(check_floor=args.check_floor)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -37,7 +37,7 @@ from pathlib import Path
 if str(Path(__file__).resolve().parent) not in sys.path:
     sys.path.insert(0, str(Path(__file__).resolve().parent))
 
-from conftest import save_results
+from conftest import save_bench
 
 from repro.experiments import Orchestrator, Suite
 from repro.experiments.executor import benchmark_scale, default_workers, quick_benchmarks
@@ -140,8 +140,7 @@ def run_bench(check_floor: bool = False) -> dict:
     if native:
         print(f"  thread/process: {aggregate['thread_vs_process']:.2f}x")
 
-    payload = {"aggregate": aggregate}
-    save_results("bench_sweep_throughput", payload)
+    payload = save_bench("bench_sweep_throughput", aggregate=aggregate)
 
     if check_floor and native:
         assert workers >= FLOOR_WORKERS

@@ -24,6 +24,16 @@ Commands
     optionally simulate it.
 ``hardware``
     Print the Table 3 controller gate-count estimate.
+``record``
+    Append benchmark artifacts (or a fresh perf-bench run) to the
+    versioned result database with full provenance.
+``report``
+    Render the stored performance trajectory as comparison tables
+    across versions/backends/hosts (text, CSV or HTML).
+``check``
+    Regression-gate the latest recorded run against the stored
+    trajectory (bootstrap floors apply on an empty history); exits
+    non-zero on regression.
 """
 
 from __future__ import annotations
@@ -37,7 +47,7 @@ from typing import Sequence
 
 from repro.config.algorithm import AttackDecayParams, SCALED_OPERATING_POINT
 from repro.control.hardware_cost import estimate_attack_decay_hardware
-from repro.errors import ExperimentError, TraceError, WorkloadError
+from repro.errors import ExperimentError, ResultDBError, TraceError, WorkloadError
 from repro.experiments import (
     CLOCKING_MODES,
     CONFIGURATIONS,
@@ -48,6 +58,7 @@ from repro.experiments import (
 from repro.metrics.aggregate import aggregate
 from repro.metrics.summary import summarize_phases
 from repro.reporting.tables import format_table, phase_table, resultset_table
+from repro.resultdb.gate import DEFAULT_TOLERANCE
 from repro.sim.engine import SimulationSpec, run_spec
 from repro.sim.experiment import ExperimentRunner, quick_benchmarks
 from repro.uarch.etf import export_benchmark, read_etf
@@ -340,6 +351,135 @@ def _cmd_import_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+#: ``record --run`` names -> perf-bench modules under ``benchmarks/``.
+PERF_BENCHES = {
+    "hotpath": "bench_engine_hotpath",
+    "control-loop": "bench_control_loop",
+    "sweep": "bench_sweep_throughput",
+}
+
+
+def _resultdb(args: argparse.Namespace):
+    """The :class:`~repro.resultdb.ResultDB` selected by ``--db``."""
+    from repro.resultdb import ResultDB
+
+    return ResultDB(args.db)
+
+
+def _run_perf_bench(name: str, db_dir: str | None) -> None:
+    """Run one perf bench from the repo's ``benchmarks/`` harness.
+
+    The bench records itself through the shared ``save_results`` write
+    path, so pointing ``REPRO_RESULTDB_DIR`` at the requested database
+    is all the plumbing needed.
+    """
+    import importlib
+    import os
+
+    bench_dir = Path(__file__).resolve().parents[2] / "benchmarks"
+    if not (bench_dir / f"{PERF_BENCHES[name]}.py").is_file():
+        raise ResultDBError(
+            f"benchmark harness not found at {bench_dir}; `record --run` "
+            "needs a repository checkout (ingest an artifact JSON instead)"
+        )
+    if db_dir is not None:
+        os.environ["REPRO_RESULTDB_DIR"] = str(db_dir)
+    if str(bench_dir) not in sys.path:
+        sys.path.insert(0, str(bench_dir))
+    module = importlib.import_module(PERF_BENCHES[name])
+    module.run_bench()
+
+
+def _cmd_record(args: argparse.Namespace) -> int:
+    if not args.paths and not args.run:
+        print(
+            "record: error: nothing to record — give artifact JSON paths "
+            "or --run {hotpath,control-loop,sweep}",
+            file=sys.stderr,
+        )
+        return 2
+    try:
+        if args.run:
+            _run_perf_bench(args.run, args.db)
+            print(f"recorded a fresh {PERF_BENCHES[args.run]} run")
+        db = _resultdb(args)
+        for path in args.paths:
+            run = db.ingest(path, bench=args.bench, backend=args.backend)
+            print(
+                f"recorded {run.bench} run {run.run_id} "
+                f"({len(run.metrics)} metrics, host {run.host_id}, "
+                f"version {run.version})"
+            )
+    except ResultDBError as exc:
+        print(f"record: error: {exc}", file=sys.stderr)
+        return 2
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.resultdb import query
+    from repro.resultdb.report import comparison_rows, overview_rows, render
+
+    db = _resultdb(args)
+    runs = db.runs()
+    runs = query.filter_runs(
+        runs, backend=args.backend, version=args.version_filter
+    )
+    if not runs:
+        print(
+            f"report: error: no readable runs in {db.directory} "
+            "(record some first)",
+            file=sys.stderr,
+        )
+        return 2
+    metrics = _parse_csv(args.metrics) if args.metrics else None
+    try:
+        if args.bench:
+            headers, rows = comparison_rows(runs, args.bench, metrics=metrics)
+            title = f"Trajectory of {args.bench} ({len(rows)} runs)"
+        else:
+            headers, rows = overview_rows(runs)
+            title = f"Result database overview ({db.directory})"
+        print(render(headers, rows, args.format, title=title))
+    except ResultDBError as exc:
+        print(f"report: error: {exc}", file=sys.stderr)
+        return 2
+    return 0
+
+
+def _cmd_check(args: argparse.Namespace) -> int:
+    from repro.resultdb import check_bench, gated_metrics, query
+
+    db = _resultdb(args)
+    runs = db.runs()
+    try:
+        if args.bench:
+            targets = [args.bench]
+        else:
+            targets = [b for b in query.benches(runs) if gated_metrics(b)]
+            if not targets:
+                raise ResultDBError(
+                    f"nothing to gate: no runs of a registered perf bench in "
+                    f"{db.directory}"
+                )
+        metrics = _parse_csv(args.metrics) if args.metrics else None
+        failed = 0
+        for bench in targets:
+            for result in check_bench(
+                runs, bench, metrics=metrics, tolerance=args.tolerance
+            ):
+                status = "PASS" if result.passed else "FAIL"
+                print(f"{status} {bench}: {result.message}")
+                failed += 0 if result.passed else 1
+    except ResultDBError as exc:
+        print(f"check: error: {exc}", file=sys.stderr)
+        return 2
+    if failed:
+        print(f"\ncheck: {failed} metric(s) regressed", file=sys.stderr)
+        return 1
+    return 0
+
+
 def _cmd_hardware(_: argparse.Namespace) -> int:
     model = estimate_attack_decay_hardware()
     print(
@@ -500,6 +640,88 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_parser("hardware", help="Table 3 gate estimate").set_defaults(
         func=_cmd_hardware
     )
+
+    def add_db_argument(parser_: argparse.ArgumentParser) -> None:
+        """The shared --db option of the result-database verbs."""
+        parser_.add_argument(
+            "--db",
+            default=None,
+            help="result database directory (default results/db, "
+            "REPRO_RESULTDB_DIR aware)",
+        )
+
+    rec_p = sub.add_parser(
+        "record", help="append benchmark runs to the result database"
+    )
+    rec_p.add_argument(
+        "paths", nargs="*", help="bench artifact JSON files to ingest"
+    )
+    rec_p.add_argument(
+        "--bench",
+        default=None,
+        help="bench name for ingested files (default: the file stem)",
+    )
+    rec_p.add_argument(
+        "--backend", default=None, help="execution backend to stamp, if any"
+    )
+    rec_p.add_argument(
+        "--run",
+        choices=sorted(PERF_BENCHES),
+        default=None,
+        help="run this perf bench now and record it (REPRO_SCALE aware)",
+    )
+    add_db_argument(rec_p)
+    rec_p.set_defaults(func=_cmd_record)
+
+    rep_p = sub.add_parser(
+        "report", help="render the stored performance trajectory"
+    )
+    rep_p.add_argument(
+        "--bench",
+        default=None,
+        help="compare this bench across runs (default: database overview)",
+    )
+    rep_p.add_argument(
+        "--metrics",
+        default=None,
+        help="comma-separated metric columns (default: the gated metrics)",
+    )
+    rep_p.add_argument(
+        "--format",
+        choices=["text", "csv", "html"],
+        default="text",
+        help="output format",
+    )
+    rep_p.add_argument("--backend", default=None, help="only runs on this backend")
+    rep_p.add_argument(
+        "--version-filter", default=None, help="only runs of this repro version"
+    )
+    add_db_argument(rep_p)
+    rep_p.set_defaults(func=_cmd_report)
+
+    chk_p = sub.add_parser(
+        "check", help="regression-gate the latest run against the trajectory"
+    )
+    chk_p.add_argument(
+        "--bench",
+        default=None,
+        help="bench to gate (default: every recorded bench with a "
+        "registered bootstrap floor)",
+    )
+    chk_p.add_argument(
+        "--metrics",
+        default=None,
+        help="comma-separated metrics to gate (default: the registered ones)",
+    )
+    chk_p.add_argument(
+        "--tolerance",
+        type=float,
+        default=DEFAULT_TOLERANCE,
+        help="allowed fractional drop below the historical best "
+        f"(default {DEFAULT_TOLERANCE})",
+    )
+    add_db_argument(chk_p)
+    chk_p.set_defaults(func=_cmd_check)
     return parser
 
 

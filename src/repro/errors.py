@@ -41,3 +41,7 @@ class ControlError(ReproError):
 
 class ExperimentError(ReproError):
     """An experiment specification cannot be run (unknown algorithm, ...)."""
+
+
+class ResultDBError(ReproError):
+    """A result-database operation failed (bad record, empty trajectory, ...)."""

@@ -1,6 +1,13 @@
 """Rendering of paper-shaped tables and ASCII figures."""
 
 from repro.reporting.figures import ascii_chart, ascii_series
-from repro.reporting.tables import format_table, phase_table
+from repro.reporting.tables import format_csv, format_html, format_table, phase_table
 
-__all__ = ["ascii_chart", "ascii_series", "format_table", "phase_table"]
+__all__ = [
+    "ascii_chart",
+    "ascii_series",
+    "format_csv",
+    "format_html",
+    "format_table",
+    "phase_table",
+]

@@ -1,7 +1,10 @@
-"""Fixed-width text tables for bench and CLI output."""
+"""Fixed-width text, CSV and HTML tables for bench and CLI output."""
 
 from __future__ import annotations
 
+import csv
+import html
+import io
 from typing import TYPE_CHECKING, Sequence
 
 if TYPE_CHECKING:  # annotation only; reporting stays import-light
@@ -53,6 +56,45 @@ def format_table(
     lines.append(fmt_row(list(headers)))
     lines.append("  ".join("-" * w for w in widths))
     lines.extend(fmt_row(row) for row in cells)
+    return "\n".join(lines)
+
+
+def format_csv(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    """Render ``rows`` as RFC-4180 CSV with a header line.
+
+    >>> format_csv(["a", "b"], [[1, "x,y"]])
+    'a,b\\r\\n1,"x,y"\\r\\n'
+    """
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow(list(headers))
+    for row in rows:
+        writer.writerow([str(cell) for cell in row])
+    return buffer.getvalue()
+
+
+def format_html(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str | None = None,
+) -> str:
+    """Render ``rows`` as a minimal, self-contained HTML table.
+
+    Every cell is escaped; the output embeds in any page or renders
+    standalone (``repro report --format html > report.html``).
+    """
+    lines = ["<table>"]
+    if title:
+        lines.append(f"  <caption>{html.escape(title)}</caption>")
+    lines.append("  <thead><tr>")
+    lines.extend(f"    <th>{html.escape(str(h))}</th>" for h in headers)
+    lines.append("  </tr></thead>")
+    lines.append("  <tbody>")
+    for row in rows:
+        cells = "".join(f"<td>{html.escape(str(c))}</td>" for c in row)
+        lines.append(f"    <tr>{cells}</tr>")
+    lines.append("  </tbody>")
+    lines.append("</table>")
     return "\n".join(lines)
 
 

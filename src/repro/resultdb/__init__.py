@@ -1,0 +1,48 @@
+"""Versioned result database: the repository's performance trajectory.
+
+Every benchmark run can be appended as one immutable, provenance-
+stamped record (:class:`ResultDB`, :class:`StoredRun`); the query layer
+slices trajectories (:mod:`repro.resultdb.query`); ``repro report``
+renders comparisons across versions/backends/hosts
+(:mod:`repro.resultdb.report`); and ``repro check`` gates CI against
+the stored history instead of hard-coded constants
+(:mod:`repro.resultdb.gate` — the old constants live on as bootstrap
+floors).  See ``docs/performance.md`` for the workflow.
+"""
+
+from repro.resultdb.gate import (
+    BOOTSTRAP_BASELINES,
+    DEFAULT_TOLERANCE,
+    GatedMetric,
+    GateResult,
+    check_bench,
+    check_metric,
+    gated_metrics,
+)
+from repro.resultdb.provenance import host_fingerprint, provenance
+from repro.resultdb.store import (
+    DB_SCHEMA_VERSION,
+    DEFAULT_DB_DIR,
+    ResultDB,
+    StoredRun,
+    default_db_dir,
+    extract_metrics,
+)
+
+__all__ = [
+    "BOOTSTRAP_BASELINES",
+    "DB_SCHEMA_VERSION",
+    "DEFAULT_DB_DIR",
+    "DEFAULT_TOLERANCE",
+    "GateResult",
+    "GatedMetric",
+    "ResultDB",
+    "StoredRun",
+    "check_bench",
+    "check_metric",
+    "default_db_dir",
+    "extract_metrics",
+    "gated_metrics",
+    "host_fingerprint",
+    "provenance",
+]

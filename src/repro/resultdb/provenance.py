@@ -1,0 +1,74 @@
+"""Who/what/where stamping for recorded runs.
+
+Every run appended to the result database carries enough context to
+compare it against history honestly: performance numbers from a
+different machine, interpreter, compiler or repro version are different
+populations, and a regression gate that mixes them silently is
+worthless.  This module derives that context once per process:
+
+* :func:`host_fingerprint` — the measuring machine (hostname, OS,
+  architecture, interpreter, core count) plus a stable ``host_id``
+  content hash that the query layer groups baselines by;
+* :func:`provenance` — the full stamp: repro ``__version__``, the host
+  fingerprint, the resolved C compiler identity (the same ingredients
+  :func:`repro.uarch.native._build_stamp` hashes into the native
+  artifact name, via the public
+  :func:`~repro.uarch.native.compiler_info`), and whether the native
+  loop is enabled.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import platform
+import socket
+
+from repro.uarch.native import compiler_info, native_enabled
+from repro.version import __version__
+
+#: Fields of the host fingerprint that define the *identity* of a host
+#: for baseline grouping.  ``cpu_count`` is recorded but excluded: VM
+#: resizes should not orphan a machine's perf history.
+_HOST_ID_FIELDS = ("hostname", "os", "machine", "python")
+
+
+def host_fingerprint() -> dict:
+    """Describe the measuring machine, including a stable ``host_id``.
+
+    >>> fp = host_fingerprint()
+    >>> sorted(fp) == ['cpu_count', 'host_id', 'hostname', 'machine', 'os', 'python']
+    True
+    >>> len(fp["host_id"])
+    12
+    """
+    info = {
+        "hostname": socket.gethostname(),
+        "os": f"{platform.system()} {platform.release()}",
+        "machine": platform.machine(),
+        "python": platform.python_version(),
+        "cpu_count": os.cpu_count() or 1,
+    }
+    identity = json.dumps(
+        {field: info[field] for field in _HOST_ID_FIELDS}, sort_keys=True
+    )
+    info["host_id"] = hashlib.sha1(identity.encode()).hexdigest()[:12]
+    return info
+
+
+def provenance() -> dict:
+    """The full provenance stamp for one recorded run.
+
+    Keys: ``version`` (repro ``__version__``), ``host`` (see
+    :func:`host_fingerprint`), ``compiler`` (resolved path + banner
+    line, or None without a C toolchain) and ``native_enabled``
+    (``REPRO_NATIVE`` gate — whether the native loop *may* run; the
+    per-run ``native`` flag in bench payloads records whether it did).
+    """
+    return {
+        "version": __version__,
+        "host": host_fingerprint(),
+        "compiler": compiler_info(),
+        "native_enabled": native_enabled(),
+    }

@@ -1,0 +1,108 @@
+"""Query layer over the append-only run store.
+
+Pure functions over ``list[StoredRun]`` — the store loads, this module
+slices.  The shapes the CLI and the regression gate need:
+
+* :func:`filter_runs` — narrow a trajectory by bench, metric presence,
+  backend, repro version, host or scale;
+* :func:`trajectory` — the (run, value) series of one metric on one
+  bench, oldest first;
+* :func:`latest_per_host` — each machine's most recent run of a bench,
+  the per-host baseline candidates;
+* :func:`best_value` — the strongest recorded value, preferring the
+  querying host's own history (cross-machine numbers are a different
+  population; they are only a fallback).
+"""
+
+from __future__ import annotations
+
+from repro.resultdb.store import StoredRun
+
+
+def filter_runs(
+    runs: list[StoredRun],
+    bench: str | None = None,
+    metric: str | None = None,
+    backend: str | None = None,
+    version: str | None = None,
+    host_id: str | None = None,
+    scale: float | None = None,
+) -> list[StoredRun]:
+    """The runs matching every given criterion (None = don't care)."""
+    selected = []
+    for run in runs:
+        if bench is not None and run.bench != bench:
+            continue
+        if metric is not None and run.metric(metric) is None:
+            continue
+        if backend is not None and run.backend != backend:
+            continue
+        if version is not None and run.version != version:
+            continue
+        if host_id is not None and run.host_id != host_id:
+            continue
+        if scale is not None and run.scale != scale:
+            continue
+        selected.append(run)
+    return selected
+
+
+def benches(runs: list[StoredRun]) -> list[str]:
+    """The distinct bench names present, sorted."""
+    return sorted({run.bench for run in runs})
+
+
+def metric_names(runs: list[StoredRun]) -> list[str]:
+    """The union of numeric metric names across ``runs``, sorted."""
+    names: set[str] = set()
+    for run in runs:
+        names.update(name for name in run.metrics if run.metric(name) is not None)
+    return sorted(names)
+
+
+def trajectory(
+    runs: list[StoredRun], bench: str, metric: str
+) -> list[tuple[StoredRun, float]]:
+    """The (run, value) series of ``metric`` on ``bench``, oldest first."""
+    series = []
+    for run in filter_runs(runs, bench=bench, metric=metric):
+        series.append((run, run.metric(metric)))
+    return series
+
+
+def latest_run(runs: list[StoredRun], bench: str) -> StoredRun | None:
+    """The most recently recorded run of ``bench``, or None."""
+    selected = filter_runs(runs, bench=bench)
+    return selected[-1] if selected else None
+
+
+def latest_per_host(runs: list[StoredRun], bench: str) -> dict[str, StoredRun]:
+    """Each host's most recent run of ``bench`` (the baseline candidates)."""
+    latest: dict[str, StoredRun] = {}
+    for run in filter_runs(runs, bench=bench):
+        latest[run.host_id] = run  # runs arrive oldest-first
+    return latest
+
+
+def best_value(
+    runs: list[StoredRun],
+    bench: str,
+    metric: str,
+    host_id: str | None = None,
+) -> tuple[float, str] | None:
+    """The strongest recorded value of ``metric`` and where it came from.
+
+    With a ``host_id``, that host's own history wins when it has any —
+    a slower machine's past must not gate a faster machine, nor the
+    reverse.  Returns ``(value, source)`` where source is
+    ``"history:<host_id>"`` or ``"history:any-host"``; None with no
+    history at all.
+    """
+    series = trajectory(runs, bench, metric)
+    if host_id is not None:
+        own = [(run, value) for run, value in series if run.host_id == host_id]
+        if own:
+            return max(value for _, value in own), f"history:{host_id}"
+    if series:
+        return max(value for _, value in series), "history:any-host"
+    return None

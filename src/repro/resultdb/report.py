@@ -1,0 +1,97 @@
+"""Comparison reports over the result database.
+
+Builds the header/row pairs ``repro report`` renders — an overview of
+every bench's trajectory, and a per-bench comparison across versions,
+backends and hosts — and hands them to the shared renderers in
+:mod:`repro.reporting.tables` (fixed-width text, CSV, HTML).
+"""
+
+from __future__ import annotations
+
+from repro.errors import ResultDBError
+from repro.reporting.tables import format_csv, format_html, format_table
+from repro.resultdb import query
+from repro.resultdb.gate import gated_metrics
+from repro.resultdb.store import StoredRun
+
+#: Renderer registry: name -> (headers, rows, title) -> str.
+FORMATS = {
+    "text": format_table,
+    "csv": lambda headers, rows, title=None: format_csv(headers, rows),
+    "html": format_html,
+}
+
+
+def _fmt(value: float) -> str:
+    """Compact numeric cell: thousands separators, sensible precision."""
+    if abs(value) >= 1000:
+        return f"{value:,.0f}"
+    return f"{value:,.3f}".rstrip("0").rstrip(".")
+
+
+def overview_rows(runs: list[StoredRun]) -> tuple[list[str], list[list[str]]]:
+    """One row per bench: trajectory size, hosts, latest run context."""
+    headers = ["Bench", "Runs", "Hosts", "Latest (UTC)", "Version", "Backend", "Gated metrics"]
+    rows = []
+    for bench in query.benches(runs):
+        selected = query.filter_runs(runs, bench=bench)
+        latest = selected[-1]
+        rows.append(
+            [
+                bench,
+                str(len(selected)),
+                str(len({run.host_id for run in selected})),
+                latest.recorded_utc,
+                latest.version,
+                latest.backend or "-",
+                ", ".join(gated_metrics(bench)) or "-",
+            ]
+        )
+    return headers, rows
+
+
+def comparison_rows(
+    runs: list[StoredRun],
+    bench: str,
+    metrics: list[str] | None = None,
+) -> tuple[list[str], list[list[str]]]:
+    """The cross-version/backend comparison table of one bench.
+
+    One row per recorded run, oldest first; metric columns default to
+    the bench's gated metrics, else every metric in its trajectory.
+    Raises :class:`~repro.errors.ResultDBError` for an empty
+    trajectory.
+    """
+    selected = query.filter_runs(runs, bench=bench)
+    if not selected:
+        raise ResultDBError(f"no recorded runs of {bench!r}")
+    if metrics is None:
+        metrics = gated_metrics(bench) or query.metric_names(selected)
+    headers = ["Recorded (UTC)", "Version", "Host", "Backend", "Scale", *metrics]
+    rows = []
+    for run in selected:
+        cells = [
+            run.recorded_utc,
+            run.version,
+            run.host_id,
+            run.backend or "-",
+            f"{run.scale:g}" if run.scale is not None else "-",
+        ]
+        for metric in metrics:
+            value = run.metric(metric)
+            cells.append(_fmt(value) if value is not None else "-")
+        rows.append(cells)
+    return headers, rows
+
+
+def render(
+    headers: list[str],
+    rows: list[list[str]],
+    fmt: str = "text",
+    title: str | None = None,
+) -> str:
+    """Render a report in ``fmt`` (``text``, ``csv`` or ``html``)."""
+    renderer = FORMATS.get(fmt)
+    if renderer is None:
+        raise ResultDBError(f"unknown report format {fmt!r}; expected one of {sorted(FORMATS)}")
+    return renderer(headers, rows, title=title)

@@ -90,6 +90,38 @@ def _compiler_identity(compiler: str) -> bytes:
     return f"{resolved}\n{banner}".encode()
 
 
+#: Memoised :func:`compiler_info` result — probing the compiler runs a
+#: subprocess, and provenance stamping may happen once per recorded run.
+_compiler_info_cache: dict | None = None
+_compiler_info_probed = False
+
+
+def compiler_info() -> dict | None:
+    """The resolved compiler identity, for provenance records.
+
+    The same ingredients :func:`_build_stamp` folds into the native
+    artifact hash — the resolved compiler path and the first line of
+    its ``--version`` banner — exposed as a plain dict so result
+    records (:mod:`repro.resultdb.provenance`) can stamp runs without
+    re-deriving them.  Returns ``None`` when no C compiler is found;
+    the probe is memoised for the life of the process.
+    """
+    global _compiler_info_cache, _compiler_info_probed
+    if _compiler_info_probed:
+        return _compiler_info_cache
+    compiler = _resolve_compiler()
+    if compiler is not None:
+        identity = _compiler_identity(compiler).decode(errors="replace")
+        resolved, _, banner = identity.partition("\n")
+        banner_lines = [line for line in banner.splitlines() if line.strip()]
+        _compiler_info_cache = {
+            "path": resolved,
+            "banner": banner_lines[0].strip() if banner_lines else "",
+        }
+    _compiler_info_probed = True
+    return _compiler_info_cache
+
+
 def _build_stamp(compiler: str) -> str:
     """Content hash naming the built artifact.
 
