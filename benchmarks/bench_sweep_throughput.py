@@ -18,9 +18,12 @@ a faster sweep that computes different numbers would be worthless.
 
 Results land in ``results/bench_sweep_throughput.json`` and the
 baseline table in ``docs/performance.md``.  Knobs: ``REPRO_SCALE``,
-``REPRO_BENCHMARKS``, ``REPRO_WORKERS``.  The acceptance floor (thread
-backend at least ``THREAD_FLOOR``x the process backend at >= 4
-workers) is asserted under pytest and by ``--check-floor``:
+``REPRO_BENCHMARKS``, ``REPRO_WORKERS``, ``REPRO_BATCH`` (batch-cell
+size; recorded runs carry it in their spec hash, so different batch
+settings are separate trajectories in the result database).  The
+acceptance floors (thread backend at least ``THREAD_FLOOR``x the
+process backend, and process at least ``PROCESS_FLOOR``x serial, at
+>= 4 workers) are asserted under pytest and by ``--check-floor``:
 
     PYTHONPATH=src python -m pytest benchmarks/bench_sweep_throughput.py -s
     PYTHONPATH=src REPRO_WORKERS=4 \
@@ -30,6 +33,7 @@ workers) is asserted under pytest and by ``--check-floor``:
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 import time
 from pathlib import Path
@@ -40,7 +44,12 @@ if str(Path(__file__).resolve().parent) not in sys.path:
 from conftest import save_bench
 
 from repro.experiments import Orchestrator, Suite
-from repro.experiments.executor import benchmark_scale, default_workers, quick_benchmarks
+from repro.experiments.executor import (
+    benchmark_scale,
+    default_batch,
+    default_workers,
+    quick_benchmarks,
+)
 from repro.uarch.native import load_hotpath
 
 #: Representative closed-loop slice: compute-bound, branchy,
@@ -57,6 +66,12 @@ SWEEP_SEEDS = [1, 2]
 #: Acceptance floor: thread-backend throughput over the process
 #: backend on the closed-loop sweep at >= FLOOR_WORKERS workers.
 THREAD_FLOOR = 1.5
+#: Acceptance floor: batched process-backend throughput over serial.
+#: Binds on multi-core hosts (CI runners), where batch cells plus
+#: shared-memory traces must at least pay for the pool's fixed costs;
+#: on a single core a pool can only ever approach serial from below,
+#: so the floor is skipped there.
+PROCESS_FLOOR = 1.0
 FLOOR_WORKERS = 4
 
 
@@ -114,11 +129,20 @@ def run_bench(check_floor: bool = False) -> dict:
                 f"{backend} backend diverged from the serial result set"
             )
 
+    # default_batch() validates REPRO_BATCH; the orchestrators above
+    # already resolved the same setting per backend.
+    batch_setting = default_batch()
+    batch_label = "auto" if batch_setting is None else str(batch_setting)
+    # Recorded so the gate can tell whether the process-vs-serial
+    # floor is meaningful for this run (it binds at >= 2 cores).
+    cores = os.cpu_count() or 1
     aggregate = {
         "scenarios": total,
         "workers": workers,
         "scale": scale,
         "native": native,
+        "batch": batch_label,
+        "cores": cores,
     }
     for backend in backends:
         aggregate[f"{backend}_rps"] = total / seconds[backend]
@@ -130,17 +154,25 @@ def run_bench(check_floor: bool = False) -> dict:
 
     print(
         f"\nClosed-loop sweep throughput ({total} runs, {workers} workers, "
-        f"best of 2):"
+        f"batch {batch_label}, best of 2):"
     )
     for backend in backends:
         print(
             f"  {backend:8s} {aggregate[f'{backend}_rps']:8.2f} runs/sec"
             f"  ({seconds[backend]:.2f}s)"
         )
+    print(f"  process/serial: {aggregate['process_vs_serial']:.2f}x")
     if native:
         print(f"  thread/process: {aggregate['thread_vs_process']:.2f}x")
 
-    payload = save_bench("bench_sweep_throughput", aggregate=aggregate)
+    # The batch setting is part of the measurement's identity: runs at
+    # different cell sizes are separate trajectories in the result
+    # database, never compared against each other by `repro check`.
+    payload = save_bench(
+        "bench_sweep_throughput",
+        aggregate=aggregate,
+        backend=f"batch={batch_label}",
+    )
 
     if check_floor and native:
         assert workers >= FLOOR_WORKERS
@@ -149,6 +181,12 @@ def run_bench(check_floor: bool = False) -> dict:
             f"thread backend is {ratio:.2f}x the process backend; "
             f"expected >= {THREAD_FLOOR}x at {workers} workers"
         )
+        if cores > 1:
+            ratio = aggregate["process_vs_serial"]
+            assert ratio >= PROCESS_FLOOR, (
+                f"process backend is {ratio:.2f}x serial; expected >= "
+                f"{PROCESS_FLOOR}x at {workers} workers on {cores} cores"
+            )
     return payload
 
 
@@ -165,7 +203,8 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help=(
             f"fail unless the thread backend >= {THREAD_FLOOR}x the "
-            f"process backend at >= {FLOOR_WORKERS} workers"
+            f"process backend (and, on multi-core hosts, process >= "
+            f"{PROCESS_FLOOR}x serial) at >= {FLOOR_WORKERS} workers"
         ),
     )
     args = parser.parse_args(argv)

@@ -216,6 +216,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             backend=args.backend,
             cache_dir=args.cache_dir,
             use_cache=False if args.no_cache else None,
+            batch=args.batch,
         )
         results = orchestrator.run(suite)
     except ExperimentError as exc:
@@ -591,6 +592,14 @@ def build_parser() -> argparse.ArgumentParser:
         help=(
             "execution backend (REPRO_BACKEND); auto uses threads when "
             "the GIL-releasing native loop is available, else processes"
+        ),
+    )
+    sweep_p.add_argument(
+        "--batch",
+        default=None,
+        help=(
+            "batch-cell size: a positive integer or 'auto' (REPRO_BATCH); "
+            "auto sizes cells per backend, batched runs stay byte-identical"
         ),
     )
     sweep_p.add_argument("--scale", type=float, default=None)

@@ -20,6 +20,9 @@ Environment knobs
 ``REPRO_BACKEND``
     Default orchestrator backend (``auto``/``thread``/``process``/
     ``serial``; see :mod:`repro.experiments.orchestrator`).
+``REPRO_BATCH``
+    Default sweep batch-cell size (``auto`` or a positive integer;
+    see ``Orchestrator._resolve_batch``).
 """
 
 from __future__ import annotations
@@ -133,6 +136,36 @@ def default_workers() -> int:
     return parse_workers(os.environ.get("REPRO_WORKERS", "1"), "REPRO_WORKERS")
 
 
+def parse_batch(raw: int | str | None, source: str = "batch") -> int | None:
+    """Resolve a batch-size setting to a positive integer or None.
+
+    ``None``/``"auto"`` return None — the orchestrator then sizes batch
+    cells per backend (see ``Orchestrator._resolve_batch``).  Anything
+    else must be a positive integer; ``source`` names the knob in
+    error messages (``REPRO_BATCH``, ``--batch``, ...).
+    """
+    if raw is None:
+        return None
+    if not isinstance(raw, int):
+        text = str(raw).strip()
+        if text.lower() == "auto":
+            return None
+        try:
+            raw = int(text)
+        except ValueError:
+            raise ExperimentError(
+                f"malformed {source} {text!r}: expected a positive integer or 'auto'"
+            ) from None
+    if raw < 1:
+        raise ExperimentError(f"{source} must be >= 1, got {raw!r}")
+    return raw
+
+
+def default_batch() -> int | None:
+    """Batch size from ``REPRO_BATCH`` (default ``auto``: per-backend)."""
+    return parse_batch(os.environ.get("REPRO_BATCH", "auto"), "REPRO_BATCH")
+
+
 #: Write-through memory front on each context's result store: results
 #: computed by any thread of a thread-pool sweep are immediately
 #: visible to the others without a disk read (entries are small result
@@ -207,21 +240,21 @@ class ExecutionContext:
         return self.cache.key(payload)
 
     # --- execution ---------------------------------------------------------
-    def run(self, scenario: Scenario) -> RunRecord:
-        """Execute one scenario (or load it from the cache).
+    def _produce(self, scenario: Scenario):
+        """Resolve one scenario: ``(key, cached RunRecord | factory product)``.
 
-        The configuration factory receives this context, the benchmark
-        name, and the merged parsed-name/override parameters; it
-        returns either a :class:`~repro.sim.engine.SimulationSpec` to
-        run or an already-computed
-        :class:`~repro.metrics.summary.RunSummary` (multi-run searches
-        such as ``dynamic_*``).
+        A cache hit short-circuits as a :class:`RunRecord` (factories
+        never return one, so the type disambiguates); otherwise the
+        configuration factory's product — a
+        :class:`~repro.sim.engine.SimulationSpec` to execute or an
+        already-computed :class:`~repro.metrics.summary.RunSummary` —
+        comes back for the caller to run.
         """
         key = self.cache_key(scenario)
         cached = self.cache.load(key)
         if cached is not None:
             try:
-                return RunRecord.from_dict(cached)
+                return key, RunRecord.from_dict(cached)
             except (KeyError, TypeError):
                 pass  # wrong shape: recompute below
         factory, parsed = CONFIGURATIONS.resolve(scenario.configuration)
@@ -233,6 +266,31 @@ class ExecutionContext:
             seed=self.effective_seed(scenario),
             **params,
         )
+        return key, produced
+
+    def _complete(self, scenario: Scenario, key: str, summary: RunSummary) -> RunRecord:
+        """Store and return one computed scenario result."""
+        record = RunRecord(
+            benchmark=scenario.benchmark,
+            configuration=scenario.configuration,
+            summary=summary,
+        )
+        self.cache.store(key, record.to_dict())
+        return record
+
+    def run(self, scenario: Scenario) -> RunRecord:
+        """Execute one scenario (or load it from the cache).
+
+        The configuration factory receives this context, the benchmark
+        name, and the merged parsed-name/override parameters; it
+        returns either a :class:`~repro.sim.engine.SimulationSpec` to
+        run or an already-computed
+        :class:`~repro.metrics.summary.RunSummary` (multi-run searches
+        such as ``dynamic_*``).
+        """
+        key, produced = self._produce(scenario)
+        if isinstance(produced, RunRecord):
+            return produced
         if isinstance(produced, SimulationSpec):
             summary = summarize(run_spec(produced))
         elif isinstance(produced, RunSummary):
@@ -242,13 +300,7 @@ class ExecutionContext:
                 f"configuration {scenario.configuration!r} returned "
                 f"{type(produced).__name__}; expected SimulationSpec or RunSummary"
             )
-        record = RunRecord(
-            benchmark=scenario.benchmark,
-            configuration=scenario.configuration,
-            summary=summary,
-        )
-        self.cache.store(key, record.to_dict())
-        return record
+        return self._complete(scenario, key, summary)
 
     def run_isolated(self, scenario: Scenario) -> RunOutcome:
         """Execute one scenario, capturing any failure as an outcome."""
@@ -256,6 +308,64 @@ class ExecutionContext:
             return RunOutcome(scenario=scenario, record=self.run(scenario))
         except Exception:
             return RunOutcome(scenario=scenario, error=traceback.format_exc())
+
+    def run_batch(self, scenarios: list[Scenario]) -> list[RunOutcome]:
+        """Execute a cell of scenarios, batching the native-path specs.
+
+        Semantics match ``[self.run_isolated(s) for s in scenarios]``
+        byte for byte: cache hits short-circuit, non-spec products
+        (multi-run searches returning a ``RunSummary``) complete
+        per scenario, and each failure is captured as that scenario's
+        outcome, never the cell's.  Every scenario whose factory
+        produced a :class:`~repro.sim.engine.SimulationSpec` joins one
+        :func:`~repro.sim.engine.run_specs_batch` vector — one native
+        entry, one GIL release and shared warm-up for the whole cell.
+        """
+        outcomes: list[RunOutcome | None] = [None] * len(scenarios)
+        pending: list[tuple[int, Scenario, str, SimulationSpec]] = []
+        for i, scenario in enumerate(scenarios):
+            try:
+                key, produced = self._produce(scenario)
+                if isinstance(produced, RunRecord):
+                    outcomes[i] = RunOutcome(scenario=scenario, record=produced)
+                elif isinstance(produced, SimulationSpec):
+                    pending.append((i, scenario, key, produced))
+                elif isinstance(produced, RunSummary):
+                    outcomes[i] = RunOutcome(
+                        scenario=scenario,
+                        record=self._complete(scenario, key, produced),
+                    )
+                else:
+                    raise ExperimentError(
+                        f"configuration {scenario.configuration!r} returned "
+                        f"{type(produced).__name__}; expected SimulationSpec "
+                        "or RunSummary"
+                    )
+            except Exception:
+                outcomes[i] = RunOutcome(scenario=scenario, error=traceback.format_exc())
+        if pending:
+            from repro.sim.engine import run_specs_batch
+
+            results = None
+            try:
+                results = run_specs_batch([spec for _, _, _, spec in pending])
+            except Exception:
+                # A failing spec aborts the whole batch vector; re-run
+                # the cell per run below so only the failing scenario
+                # records an error outcome.
+                pass
+            for j, (i, scenario, key, spec) in enumerate(pending):
+                try:
+                    result = results[j] if results is not None else run_spec(spec)
+                    outcomes[i] = RunOutcome(
+                        scenario=scenario,
+                        record=self._complete(scenario, key, summarize(result)),
+                    )
+                except Exception:
+                    outcomes[i] = RunOutcome(
+                        scenario=scenario, error=traceback.format_exc()
+                    )
+        return outcomes
 
     def summary(
         self,
@@ -328,10 +438,36 @@ def execute_scenario(
     (cache_dir, use_cache, scale, seed) so a worker recomputes
     profiling runs at most once, not once per scenario.
     """
+    return _worker_context(cache_dir, use_cache, scale, seed).run_isolated(scenario)
+
+
+def execute_scenario_batch(
+    scenarios: list[Scenario],
+    cache_dir: str | None,
+    use_cache: bool | None,
+    scale: float,
+    seed: int,
+) -> list[RunOutcome]:
+    """Worker entry point: run one batch cell in this process's context.
+
+    The batched sibling of :func:`execute_scenario` — one pool task per
+    cell instead of one per scenario, so a sweep's pickling and
+    dispatch overhead scales with the number of cells.
+    """
+    return _worker_context(cache_dir, use_cache, scale, seed).run_batch(scenarios)
+
+
+def _worker_context(
+    cache_dir: str | None,
+    use_cache: bool | None,
+    scale: float,
+    seed: int,
+) -> ExecutionContext:
+    """This process's memoised context for the given knobs."""
     key = (cache_dir, use_cache, scale, seed)
     ctx = _WORKER_CONTEXTS.get(key)
     if ctx is None:
         ctx = _WORKER_CONTEXTS[key] = ExecutionContext(
             cache_dir=cache_dir, scale=scale, seed=seed, use_cache=use_cache
         )
-    return ctx.run_isolated(scenario)
+    return ctx

@@ -33,11 +33,33 @@ Backends
     ``thread`` when the native loop loads, else ``process``; an
     explicit ``start_method`` also forces ``process`` (a thread pool
     has no start method to honour).
+
+Batch cells
+-----------
+Every backend can execute the matrix in **batch cells** — contiguous
+runs of scenarios sharing one ``(benchmark, scale)`` trace identity —
+instead of one task per scenario.  A cell rides the native batch entry
+point (one GIL release, one warm-up per trace/geometry, one writeback
+pass; see :func:`repro.sim.engine.run_specs_batch`), so per-run
+dispatch overhead amortises across the cell.  ``batch="auto"`` (the
+default, via ``REPRO_BATCH``) sizes cells at roughly
+``total / workers`` for pool backends and leaves the serial backend
+per-run; an explicit ``--batch N`` applies to every backend.  Cell
+boundaries never change results: outcomes are byte-identical to the
+per-run paths and still returned in matrix order.
+
+The process backend additionally publishes each unique trace's base
+columns in POSIX shared memory before the pool starts
+(:mod:`repro.uarch.shared_trace`): workers map the owner's read-only
+pages instead of re-reading ``.npz`` stores or regenerating workloads.
+Segments are unlinked in a ``finally`` when the sweep ends, with an
+``atexit`` guard covering crashed sweeps.
 """
 
 from __future__ import annotations
 
 import logging
+import math
 import multiprocessing
 import os
 import pickle
@@ -50,8 +72,11 @@ from repro.errors import ExperimentError
 from repro.experiments.executor import (
     ExecutionContext,
     benchmark_scale,
+    default_batch,
     default_workers,
     execute_scenario,
+    execute_scenario_batch,
+    parse_batch,
     parse_workers,
 )
 from repro.experiments.results import ResultSet, RunOutcome
@@ -77,6 +102,18 @@ def _pool_entry(args: tuple) -> tuple[int, RunOutcome]:
     """Pool adapter: run one indexed scenario in a worker process."""
     index, scenario, cache_dir, use_cache, scale, seed = args
     return index, execute_scenario(scenario, cache_dir, use_cache, scale, seed)
+
+
+def _pool_entry_batch(args: tuple) -> tuple[tuple[int, ...], list[RunOutcome]]:
+    """Pool adapter: run one batch cell in a worker process.
+
+    ``indices`` are the cell's positions in the original matrix; the
+    returned outcome list is parallel to them.
+    """
+    indices, scenarios, cache_dir, use_cache, scale, seed = args
+    return indices, execute_scenario_batch(
+        scenarios, cache_dir, use_cache, scale, seed
+    )
 
 
 def _registry_state(require_picklable: bool) -> dict:
@@ -140,19 +177,24 @@ def _init_worker(state: dict) -> None:
 
     Runs in every worker regardless of start method, so fork and spawn
     contexts execute identical scenario matrices; under fork it is a
-    no-op (every name is already present).
+    no-op (every name is already present).  Also attaches any
+    shared-memory trace segments the owner exported — attach failures
+    are logged inside :func:`~repro.uarch.shared_trace
+    .install_shared_traces` and fall back to local trace builds.
     """
     from repro.experiments.registry import (
         CLOCKING_MODES,
         CONFIGURATIONS,
         CONTROLLERS,
     )
+    from repro.uarch.shared_trace import install_shared_traces
     from repro.workloads.catalog import restore_runtime_benchmarks
 
     restore_runtime_benchmarks(state["benchmarks"])
     CONFIGURATIONS.restore(state["configurations"])
     CONTROLLERS.restore(state["controllers"])
     CLOCKING_MODES.restore(state["clocking_modes"])
+    install_shared_traces(state.get("shared_traces"))
 
 
 class Orchestrator:
@@ -189,6 +231,11 @@ class Orchestrator:
         runtime-registered benchmarks/configurations through the pool
         initializer, so spawn contexts reproduce fork results instead
         of silently dropping registrations.
+    batch:
+        Batch-cell size: a positive integer, ``"auto"`` (size cells
+        per backend — see the module docstring) or None to defer to
+        ``REPRO_BATCH``.  Cells are clamped to the matrix, grouped by
+        trace identity, and never change results.
     """
 
     def __init__(
@@ -201,6 +248,7 @@ class Orchestrator:
         on_result: Callable[[RunOutcome], None] | None = None,
         backend: str | None = None,
         start_method: str | None = None,
+        batch: int | str | None = None,
     ) -> None:
         self.workers = (
             default_workers() if workers is None else parse_workers(workers)
@@ -216,6 +264,7 @@ class Orchestrator:
             )
         self.backend = backend
         self.start_method = start_method
+        self.batch = default_batch() if batch is None else parse_batch(batch)
 
     def _resolve_backend(self, total: int) -> str:
         """The concrete backend for a ``total``-scenario matrix."""
@@ -232,6 +281,48 @@ class Orchestrator:
             return "thread" if load_hotpath() is not None else "process"
         return requested
 
+    def _resolve_batch(self, total: int, backend: str) -> int:
+        """The concrete batch-cell size for this matrix and backend.
+
+        An explicit size (constructor or ``REPRO_BATCH``) applies to
+        every backend, clamped to the matrix.  ``auto`` leaves the
+        serial backend per-run (streamed announcements, no batching
+        latency to hide) and gives pool backends ``ceil(total /
+        workers)`` — one cell per worker — capped at 32 so huge
+        matrices keep load-balancing granularity.
+        """
+        if total <= 0:
+            return 1
+        if self.batch is not None:
+            return max(1, min(self.batch, total))
+        if backend == "serial":
+            return 1
+        return max(1, min(math.ceil(total / max(1, self.workers)), 32))
+
+    @staticmethod
+    def _batch_cells(
+        scenarios: Sequence[Scenario], batch: int
+    ) -> list[list[int]]:
+        """Matrix indices chunked into trace-coherent batch cells.
+
+        Scenarios are grouped by ``(benchmark, scale)`` — the compiled
+        trace's identity — so every cell shares one trace and the
+        native batch path warms up once per geometry.  Within a group,
+        cells are contiguous slices of at most ``batch`` indices, in
+        matrix order; grouping is insertion-ordered, so the chunking
+        is deterministic.
+        """
+        groups: dict[tuple, list[int]] = {}
+        for index, scenario in enumerate(scenarios):
+            groups.setdefault((scenario.benchmark, scenario.scale), []).append(
+                index
+            )
+        cells: list[list[int]] = []
+        for indices in groups.values():
+            for start in range(0, len(indices), batch):
+                cells.append(indices[start : start + batch])
+        return cells
+
     def _context(self) -> ExecutionContext:
         return ExecutionContext(
             cache_dir=self.cache_dir,
@@ -246,17 +337,18 @@ class Orchestrator:
         total = len(scenarios)
         label = matrix.name if isinstance(matrix, Suite) else "matrix"
         backend = self._resolve_backend(total)
+        batch = self._resolve_batch(total, backend)
         logger.info(
-            "%s: %d scenario(s) across %d worker(s) [%s backend]",
-            label, total, self.workers, backend,
+            "%s: %d scenario(s) across %d worker(s) [%s backend, batch %d]",
+            label, total, self.workers, backend, batch,
         )
         started = time.perf_counter()
         if backend == "serial":
-            outcomes = self._run_serial(scenarios)
+            outcomes = self._run_serial(scenarios, batch)
         elif backend == "thread":
-            outcomes = self._run_threaded(scenarios)
+            outcomes = self._run_threaded(scenarios, batch)
         else:
-            outcomes = self._run_parallel(scenarios)
+            outcomes = self._run_parallel(scenarios, batch)
         elapsed = time.perf_counter() - started
         failures = sum(1 for o in outcomes if not o.ok)
         logger.info(
@@ -276,16 +368,32 @@ class Orchestrator:
         if self.on_result is not None:
             self.on_result(outcome)
 
-    def _run_serial(self, scenarios: Sequence[Scenario]) -> list[RunOutcome]:
+    def _run_serial(
+        self, scenarios: Sequence[Scenario], batch: int = 1
+    ) -> list[RunOutcome]:
         ctx = self._context()
-        outcomes = []
-        for i, scenario in enumerate(scenarios):
-            outcome = ctx.run_isolated(scenario)
-            self._announce(outcome, i, len(scenarios))
-            outcomes.append(outcome)
-        return outcomes
+        total = len(scenarios)
+        if batch <= 1:
+            outcomes = []
+            for i, scenario in enumerate(scenarios):
+                outcome = ctx.run_isolated(scenario)
+                self._announce(outcome, i, total)
+                outcomes.append(outcome)
+            return outcomes
+        ordered: list[RunOutcome | None] = [None] * total
+        done = 0
+        for indices in self._batch_cells(scenarios, batch):
+            cell = ctx.run_batch([scenarios[i] for i in indices])
+            for index, outcome in zip(indices, cell):
+                ordered[index] = outcome
+                self._announce(outcome, done, total)
+                done += 1
+        assert all(o is not None for o in ordered)
+        return ordered  # type: ignore[return-value]
 
-    def _run_threaded(self, scenarios: Sequence[Scenario]) -> list[RunOutcome]:
+    def _run_threaded(
+        self, scenarios: Sequence[Scenario], batch: int = 1
+    ) -> list[RunOutcome]:
         """Thread-pool backend: one shared context, GIL-free native runs.
 
         All workers share one :class:`ExecutionContext` — and with it
@@ -298,19 +406,38 @@ class Orchestrator:
         total = len(scenarios)
         ordered: list[RunOutcome | None] = [None] * total
         done = 0
+        if batch <= 1:
+            with ThreadPoolExecutor(
+                max_workers=min(self.workers, total),
+                thread_name_prefix="repro-sweep",
+            ) as pool:
+                futures = {
+                    pool.submit(ctx.run_isolated, scenario): index
+                    for index, scenario in enumerate(scenarios)
+                }
+                for future in as_completed(futures):
+                    outcome = future.result()
+                    ordered[futures[future]] = outcome
+                    self._announce(outcome, done, total)
+                    done += 1
+            assert all(o is not None for o in ordered)
+            return ordered  # type: ignore[return-value]
+        cells = self._batch_cells(scenarios, batch)
         with ThreadPoolExecutor(
-            max_workers=min(self.workers, total),
+            max_workers=min(self.workers, len(cells)),
             thread_name_prefix="repro-sweep",
         ) as pool:
             futures = {
-                pool.submit(ctx.run_isolated, scenario): index
-                for index, scenario in enumerate(scenarios)
+                pool.submit(
+                    ctx.run_batch, [scenarios[i] for i in indices]
+                ): indices
+                for indices in cells
             }
             for future in as_completed(futures):
-                outcome = future.result()
-                ordered[futures[future]] = outcome
-                self._announce(outcome, done, total)
-                done += 1
+                for index, outcome in zip(futures[future], future.result()):
+                    ordered[index] = outcome
+                    self._announce(outcome, done, total)
+                    done += 1
         assert all(o is not None for o in ordered)
         return ordered  # type: ignore[return-value]
 
@@ -332,12 +459,51 @@ class Orchestrator:
         except ValueError:  # pragma: no cover - non-POSIX fallback
             return multiprocessing.get_context()
 
-    def _run_parallel(self, scenarios: Sequence[Scenario]) -> list[RunOutcome]:
+    def _export_shared_traces(
+        self, scenarios: Sequence[Scenario]
+    ) -> tuple[list[dict], list[str]]:
+        """Publish every unique trace in the matrix to shared memory.
+
+        Owner-side half of the shared-trace lifecycle: one segment per
+        ``(benchmark, scale)``, exported before the pool starts so
+        workers map pages instead of rebuilding traces.  Best-effort —
+        a benchmark that fails to resolve or export simply ships no
+        segment and workers build it locally; the scenario itself
+        still runs (and reports its own error if the name is bogus).
+        Returns the descriptors to ship and the segment keys to unlink
+        when the sweep ends.
+        """
+        from repro.sim.engine import export_shared_trace
+        from repro.workloads.catalog import get_benchmark
+
+        descriptors: list[dict] = []
+        seen: set[tuple] = set()
+        for scenario in scenarios:
+            scale = scenario.scale if scenario.scale is not None else self.scale
+            identity = (scenario.benchmark, scale)
+            if identity in seen:
+                continue
+            seen.add(identity)
+            try:
+                descriptors.append(
+                    export_shared_trace(
+                        get_benchmark(scenario.benchmark), scale=scale
+                    )
+                )
+            except Exception:  # noqa: BLE001 - export is an optimisation
+                logger.debug(
+                    "shared-trace export failed for %s (scale %s); workers "
+                    "will build locally", scenario.benchmark, scale,
+                    exc_info=True,
+                )
+        return descriptors, [d["key"] for d in descriptors]
+
+    def _run_parallel(
+        self, scenarios: Sequence[Scenario], batch: int = 1
+    ) -> list[RunOutcome]:
+        from repro.uarch.shared_trace import unlink_exported
+
         cache_dir = str(self.cache_dir) if self.cache_dir is not None else None
-        jobs: Iterable[tuple] = [
-            (i, s, cache_dir, self.use_cache, self.scale, self.seed)
-            for i, s in enumerate(scenarios)
-        ]
         mp_context = self._mp_context()
         # Workers reproduce this process's runtime registrations
         # through the initializer, so every start method sees the same
@@ -346,17 +512,57 @@ class Orchestrator:
         state = _registry_state(
             require_picklable=mp_context.get_start_method() != "fork"
         )
-        ordered: list[RunOutcome | None] = [None] * len(scenarios)
+        descriptors, shared_keys = self._export_shared_traces(scenarios)
+        state["shared_traces"] = descriptors
+        total = len(scenarios)
+        ordered: list[RunOutcome | None] = [None] * total
         done = 0
-        with mp_context.Pool(
-            processes=min(self.workers, len(scenarios)),
-            initializer=_init_worker,
-            initargs=(state,),
-        ) as pool:
-            for index, outcome in pool.imap_unordered(_pool_entry, jobs):
-                ordered[index] = outcome
-                self._announce(outcome, done, len(scenarios))
-                done += 1
+        try:
+            if batch <= 1:
+                jobs: Iterable[tuple] = [
+                    (i, s, cache_dir, self.use_cache, self.scale, self.seed)
+                    for i, s in enumerate(scenarios)
+                ]
+                with mp_context.Pool(
+                    processes=min(self.workers, total),
+                    initializer=_init_worker,
+                    initargs=(state,),
+                ) as pool:
+                    for index, outcome in pool.imap_unordered(_pool_entry, jobs):
+                        ordered[index] = outcome
+                        self._announce(outcome, done, total)
+                        done += 1
+            else:
+                cells = self._batch_cells(scenarios, batch)
+                cell_jobs: Iterable[tuple] = [
+                    (
+                        tuple(indices),
+                        [scenarios[i] for i in indices],
+                        cache_dir,
+                        self.use_cache,
+                        self.scale,
+                        self.seed,
+                    )
+                    for indices in cells
+                ]
+                with mp_context.Pool(
+                    processes=min(self.workers, len(cells)),
+                    initializer=_init_worker,
+                    initargs=(state,),
+                ) as pool:
+                    for indices, outcomes in pool.imap_unordered(
+                        _pool_entry_batch, cell_jobs
+                    ):
+                        for index, outcome in zip(indices, outcomes):
+                            ordered[index] = outcome
+                            self._announce(outcome, done, total)
+                            done += 1
+        finally:
+            # Owner-side unlink: segment names vanish now; worker
+            # mappings (if any are somehow still alive) survive until
+            # closed.  The atexit guard in repro.uarch.shared_trace
+            # covers paths that never reach this finally.
+            unlink_exported(shared_keys)
         assert all(o is not None for o in ordered)
         return ordered  # type: ignore[return-value]
 

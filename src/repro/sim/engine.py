@@ -17,6 +17,7 @@ per-instruction generator path (``compiled=False``), just faster; see
 
 from __future__ import annotations
 
+import logging
 import os
 from collections import OrderedDict
 from dataclasses import dataclass, field
@@ -34,6 +35,8 @@ from repro.uarch.compiled_trace import (
 )
 from repro.uarch.core import CoreOptions, CoreResult, MCDCore
 from repro.workloads.catalog import BenchmarkSpec, get_benchmark
+
+logger = logging.getLogger(__name__)
 
 #: Regulator slew rate used with the scaled catalog workloads.  The
 #: paper's 49.1 ns/MHz makes a full-range transition take ~3.7 of its
@@ -164,15 +167,17 @@ def compiled_trace_for(
     (the native path treats it read-only; the batched Python path
     leases or copies the mutable templates).
     """
-    # Deferred imports: repro.experiments imports this module.
-    from repro.experiments.cache import CACHE_VERSION
-    from repro.experiments.executor import cache_enabled
-
-    payload = bench.trace_payload(scale, seed_offset)
-    payload["cache_version"] = CACHE_VERSION
-    key = _TRACE_STORE.key(payload)
+    key = _trace_store_key(bench, scale, seed_offset)
 
     def build() -> CompiledTrace:
+        from repro.experiments.executor import cache_enabled
+        from repro.uarch import shared_trace
+
+        # Cheapest first: a shared-memory segment exported by the sweep
+        # owner is already validated and needs no disk read.
+        shared = shared_trace.shared_columns(key)
+        if shared is not None:
+            return from_columns(shared, line_shift)
         use_disk = cache_enabled()
         compiled = _TRACE_STORE.load(key, line_shift) if use_disk else None
         if compiled is None:
@@ -184,6 +189,40 @@ def compiled_trace_for(
         return compiled
 
     return _TRACE_MEMO.get_or_build((key, line_shift), build)
+
+
+def _trace_store_key(bench: BenchmarkSpec, scale: float, seed_offset: int) -> str:
+    """The content-hash store key of one benchmark trace identity."""
+    # Deferred import: repro.experiments imports this module.
+    from repro.experiments.cache import CACHE_VERSION
+
+    payload = bench.trace_payload(scale, seed_offset)
+    payload["cache_version"] = CACHE_VERSION
+    return _TRACE_STORE.key(payload)
+
+
+def export_shared_trace(
+    bench: BenchmarkSpec, scale: float = 1.0, seed_offset: int = 0
+) -> dict:
+    """Publish one benchmark trace's base columns in shared memory.
+
+    Owner-side hook for the process sweep backend: resolves the base
+    columns through the memo/disk layers (generating and persisting on
+    a cold store, exactly like :func:`compiled_trace_for`), exports
+    them via :mod:`repro.uarch.shared_trace`, and returns the
+    descriptor to ship to workers.  Idempotent per trace.
+    """
+    from repro.experiments.executor import cache_enabled
+    from repro.uarch import shared_trace
+
+    key = _trace_store_key(bench, scale, seed_offset)
+    columns = _TRACE_STORE.load_columns(key) if cache_enabled() else None
+    if columns is None:
+        trace = bench.build_trace(scale=scale, seed_offset=seed_offset)
+        columns = trace_columns(trace)
+        if cache_enabled():
+            _TRACE_STORE.store(key, columns)
+    return shared_trace.export_columns(key, columns)
 
 
 @dataclass
@@ -251,8 +290,8 @@ class SimulationSpec:
     mcd_config: MCDConfig = field(default_factory=scaled_mcd_config)
 
 
-def run_spec(spec: SimulationSpec) -> CoreResult:
-    """Execute one simulation run."""
+def _build_core(spec: SimulationSpec) -> tuple[MCDCore, object]:
+    """Build the (cold) core and trace one spec describes."""
     if spec.path not in ("auto", "native", "python", "generator"):
         raise ExperimentError(
             f"unknown execution path {spec.path!r}; "
@@ -300,6 +339,12 @@ def run_spec(spec: SimulationSpec) -> CoreResult:
         controller=spec.controller,
         options=options,
     )
+    return core, trace
+
+
+def run_spec(spec: SimulationSpec) -> CoreResult:
+    """Execute one simulation run."""
+    core, trace = _build_core(spec)
     if spec.warmup:
         # The timed trace doubles as the warm-up stream: a compiled
         # trace is replayed directly from its columns, and a generator
@@ -308,3 +353,91 @@ def run_spec(spec: SimulationSpec) -> CoreResult:
         # the phase bookkeeping.
         core.warm_up(trace, limit=trace.total_instructions)
     return core.run(path=spec.path)
+
+
+class _NotBatchable(Exception):
+    """Internal: this spec vector must run through run_spec per run."""
+
+
+#: Share warm-up state across a batch cell only for traces at least
+#: this long.  Warm-up walks the whole trace in Python (cost grows
+#: with length), while restoring a snapshot deep-copies cache sets and
+#: predictor tables (cost fixed by geometry) — so sharing wins on
+#: production-scale traces and loses on short smoke traces, where the
+#: copy outweighs the replay.  Both paths leave identical state, so
+#: the cutover never changes results.
+_WARM_SHARE_MIN_EVENTS = 25_000
+
+
+def run_specs_batch(specs: list[SimulationSpec]) -> list[CoreResult]:
+    """Execute several runs through one native ``run_batch`` call.
+
+    Byte-identity contract: the returned list equals
+    ``[run_spec(s) for s in specs]`` exactly — same ``CoreResult``
+    values, same final controller/regulator diagnostics.  The batch
+    amortises what a per-run loop repeats:
+
+    * one GIL release and one C entry for the whole vector;
+    * warm-up once per (trace, geometry) on long traces — warm state
+      is deterministic and seed-independent, so later runs in the cell
+      deep-copy the first run's
+      :meth:`~repro.uarch.core.MCDCore.warm_state_snapshot` instead of
+      replaying the trace (short traces below
+      ``_WARM_SHARE_MIN_EVENTS`` just replay: the copy would cost more
+      than the walk).
+
+    Anything that cannot take the native compiled path (no C loop,
+    generator/python specs, non-columnar traces) and any error during
+    batch assembly or execution falls back to per-run
+    :func:`run_spec` execution, which re-raises per-spec errors with
+    their normal semantics.
+    """
+    from repro.uarch.native import load_hotpath
+
+    if len(specs) <= 1:
+        return [run_spec(spec) for spec in specs]
+    hotpath = load_hotpath()
+    if hotpath is None or getattr(hotpath, "run_batch", None) is None:
+        return [run_spec(spec) for spec in specs]
+    try:
+        cores = []
+        args_vector = []
+        finishes = []
+        warm_snapshots: dict = {}
+        for spec in specs:
+            if spec.path not in ("auto", "native") or not spec.compiled:
+                raise _NotBatchable
+            core, trace = _build_core(spec)
+            if core.compiled is None or not core.compiled.arrays:
+                raise _NotBatchable
+            if spec.warmup:
+                if trace.total_instructions < _WARM_SHARE_MIN_EVENTS:
+                    core.warm_up(trace, limit=trace.total_instructions)
+                else:
+                    # Warm state depends only on (trace, geometry):
+                    # the compiled trace is one shared instance per
+                    # identity, and the processor config carries the
+                    # geometry.
+                    warm_key = (id(trace), repr(spec.processor))
+                    snapshot = warm_snapshots.get(warm_key)
+                    if snapshot is None:
+                        core.warm_up(trace, limit=trace.total_instructions)
+                        warm_snapshots[warm_key] = core.warm_state_snapshot()
+                    else:
+                        core.restore_warm_state(snapshot)
+            args, finish = core.native_marshal()
+            cores.append(core)
+            args_vector.append(args)
+            finishes.append(finish)
+        raw = hotpath.run_batch(args_vector)
+        return [finish(res) for finish, res in zip(finishes, raw)]
+    except _NotBatchable:
+        return [run_spec(spec) for spec in specs]
+    except Exception:
+        # A failed batch (callback exception, trace-exhausted run,
+        # marshal error) falls back to per-run execution on fresh
+        # cores: controllers re-``begin`` from scratch, so results
+        # stay byte-identical and the failing spec raises with its
+        # own per-run error semantics.
+        logger.debug("batched native run failed; re-running per run", exc_info=True)
+        return [run_spec(spec) for spec in specs]

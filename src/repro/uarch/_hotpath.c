@@ -18,24 +18,32 @@
  * See repro/uarch/native.py for the build/load glue and controller
  * marshalling, and MCDCore._run_compiled_native for the marshal layer.
  *
- * run_compiled executes in three stages so a whole sweep can run on a
- * thread pool inside one process:
+ * Execution is staged around a per-run RunState struct so a whole
+ * sweep can run on a thread pool inside one process:
  *
  *   1. marshal   — all PyObject access and buffer extraction (GIL held);
- *   2. compute   — the event loop, pure C over local state, with the
- *                  GIL RELEASED (Py_BEGIN_ALLOW_THREADS).  Its only
+ *   2. compute   — the event loop, pure C over RunState-local data,
+ *                  with the GIL RELEASED (PyEval_SaveThread).  Its only
  *                  Python crossings are the jitter `refill` and the
  *                  per-interval `rollover` callbacks, bridged through
  *                  shims that re-acquire the GIL for the call;
  *   3. writeback — fold results into the owning objects (GIL held).
  *
+ * Two entry points share the stages.  run_compiled drives one RunState
+ * through all three.  run_batch amortises the boundary across a sweep
+ * cell: it marshals a *vector* of argument dicts up front, releases the
+ * GIL once, computes every run back to back, and then writes each run
+ * back into its own objects — exactly the per-run folding the single
+ * entry performs, so batched results are byte-identical by
+ * construction.
+ *
  * Reentrancy audit: this file holds NO mutable state with static
- * storage duration — every array, ring buffer and counter lives on
- * run_compiled's stack or in per-call PyMem allocations, and the
+ * storage duration — every array, ring buffer and counter lives on the
+ * compute stage's stack or in per-RunState PyMem allocations, and the
  * buffers handed in through the argument dict are created per run by
- * MCDCore._run_compiled_native.  Concurrent run_compiled calls from
- * different threads therefore never share writable memory, which is
- * what makes the thread-pool sweep backend sound.
+ * MCDCore._run_compiled_native.  Concurrent run_compiled/run_batch
+ * calls from different threads therefore never share writable memory,
+ * which is what makes the thread-pool sweep backend sound.
  */
 #define PY_SSIZE_T_CLEAN
 #include <Python.h>
@@ -265,23 +273,107 @@ rollover_callback(PyObject *rollover, long long index, long long retired,
 
 /* ------------------------------------------------------------ the loop */
 
-static PyObject *
-run_compiled(PyObject *self, PyObject *args)
+/* All state one simulation needs across the three stages.  A RunState
+ * is filled by marshal_run (GIL held), consumed by compute_run (GIL
+ * released) and drained by writeback_run (GIL held); free_run drops
+ * the buffer views and per-run allocations.  run_compiled wraps one
+ * RunState; run_batch marshals a whole vector of them, releases the
+ * GIL once, and computes the runs back to back. */
+typedef struct {
+    ViewPool pool;
+    /* scalars */
+    int64_t total;
+    int decode_width, retire_width;
+    int64_t rob_cap, l1_cycles, l2_cycles, mispredict_penalty, interval_len;
+    int mcd_mode;
+    int64_t kind_load, kind_store, kind_branch;
+    int shift;
+    int64_t l1i_nsets, l1d_nsets, l2_nsets;
+    int l1i_ways, l1d_ways, l2_ways;
+    int64_t hist_mask, btb_nsets;
+    int btb_ways, call_rollover;
+    double mem_latency, window, vmin, fmin, vslope, vmax_sq_inv;
+    double e_l1i, e_l2, e_bpred, e_retire, e_disp_fetch;
+    /* native closed-loop controller */
+    int native_ctrl;
+    double ad_dev, ad_reaction, ad_decay, ad_perf_deg, ad_alpha;
+    double cfg_min_mhz, cfg_max_mhz, freq_step;
+    long long ad_endstop, ad_literal, freq_points;
+    const int64_t *ad_ctrl;
+    double *ad_freq, *ad_prev_util, *ad_ipc;
+    int64_t *ad_upper, *ad_lower, *ad_attacks_up, *ad_attacks_down;
+    int64_t *ad_decays, *ad_holds;
+    const double *freq_table;
+    int64_t *reg_requests, *reg_dirchg;
+    /* column + state buffers (views owned by pool) */
+    const int64_t *kinds, *pcs, *addrs, *taken_c, *targets_c;
+    const int64_t *dest_c, *qd_c, *p1_c, *p2_c;
+    int64_t *newline;
+    const int64_t *lat_cycles, *complex_op, *simple_w, *complex_w, *q_cap;
+    const double *clock_e, *idle_e, *e_issue_a, *e_simple_a, *e_complex_a;
+    double *reg_cur, *reg_tgt, *reg_last;
+    const double *reg_slew;
+    double *reg_slew_acc;
+    double *edge_ns;
+    int64_t *cycle_idx;
+    double *acc_clock, *acc_struct;
+    int64_t *n_busy, *n_idle, *q_occ, *q_writes, *cache_stats, *bp_stats;
+    double *cur_freq;
+    /* unmarshalled python-object state (per-run PyMem allocations) */
+    int64_t *l1i_tags, *l1d_tags, *l2_tags;
+    int32_t *l1i_cnt, *l1d_cnt, *l2_cnt;
+    int64_t *hist, *pl2, *bim, *meta;
+    Py_ssize_t hist_len, pl2_len, bim_len, meta_len;
+    int64_t *btb_tags, *btb_tgts;
+    int32_t *btb_cnt;
+    double *jbuf[4];
+    Py_ssize_t jlen[4];
+    int64_t *rob_seq;
+    /* owning python objects (borrowed from the argument dict, which the
+     * caller keeps alive for the duration of the call) */
+    PyObject *l1i_sets_o, *l1d_sets_o, *l2_sets_o;
+    PyObject *hist_o, *pl2_o, *bim_o, *meta_o, *btb_o;
+    PyObject *refill, *rollover;
+    /* compute outputs */
+    int64_t int_free, fp_free;
+    int64_t retired, memory_accesses, dispatch_stall_cycles;
+    double wall;
+    const char *error;
+} RunState;
+
+/* Release everything a RunState owns (GIL held).  Safe on a zeroed or
+ * partially-marshalled state: every allocation lands in the struct the
+ * moment it is made, and PyMem_Free/release_views tolerate NULL/empty. */
+static void
+free_run(RunState *rs)
 {
-    PyObject *a; /* argument dict */
-    if (!PyArg_ParseTuple(args, "O!", &PyDict_Type, &a))
-        return NULL;
+    release_views(&rs->pool);
+    PyMem_Free(rs->l1i_tags);
+    PyMem_Free(rs->l1i_cnt);
+    PyMem_Free(rs->l1d_tags);
+    PyMem_Free(rs->l1d_cnt);
+    PyMem_Free(rs->l2_tags);
+    PyMem_Free(rs->l2_cnt);
+    PyMem_Free(rs->hist);
+    PyMem_Free(rs->pl2);
+    PyMem_Free(rs->bim);
+    PyMem_Free(rs->meta);
+    PyMem_Free(rs->btb_tags);
+    PyMem_Free(rs->btb_tgts);
+    PyMem_Free(rs->btb_cnt);
+    PyMem_Free(rs->rob_seq);
+    for (int d = 0; d < 4; d++)
+        PyMem_Free(rs->jbuf[d]);
+    memset(rs, 0, sizeof(*rs));
+}
 
-    ViewPool pool = {.count = 0};
-    int64_t *l1i_tags = NULL, *l2_tags = NULL, *l1d_tags = NULL;
-    int32_t *l1i_cnt = NULL, *l2_cnt = NULL, *l1d_cnt = NULL;
-    int64_t *hist = NULL, *pl2 = NULL, *bim = NULL, *meta = NULL;
-    int64_t *btb_tags = NULL, *btb_tgts = NULL;
-    int32_t *btb_cnt = NULL;
-    double *jbuf[4] = {NULL, NULL, NULL, NULL};
-    int64_t *rob_seq = NULL;
-    PyObject *result = NULL;
-
+/* Stage 1: all PyObject access and buffer extraction (GIL held).
+ * Fills *rs from the argument dict; on failure a Python exception is
+ * set and whatever was already acquired stays in *rs for free_run. */
+static int
+marshal_run(PyObject *a, RunState *rs)
+{
+    ViewPool *pool = &rs->pool;
     /* --- scalars ------------------------------------------------------ */
     long long n_ll, decode_width_ll, retire_width_ll, rob_cap_ll;
     long long l1_cycles_ll, l2_cycles_ll, mispredict_penalty_ll;
@@ -366,47 +458,47 @@ run_compiled(PyObject *self, PyObject *args)
 
     /* --- column buffers ----------------------------------------------- */
     Py_ssize_t col_n;
-    const int64_t *kinds = get_buffer(a, "kinds", &pool, 0, 8, &col_n);
+    const int64_t *kinds = get_buffer(a, "kinds", pool, 0, 8, &col_n);
     if (kinds == NULL || col_n < total) goto fail;
-    const int64_t *pcs = get_buffer(a, "pcs", &pool, 0, 8, NULL);
-    const int64_t *addrs = get_buffer(a, "addrs", &pool, 0, 8, NULL);
-    const int64_t *taken_c = get_buffer(a, "taken", &pool, 0, 8, NULL);
-    const int64_t *targets_c = get_buffer(a, "targets", &pool, 0, 8, NULL);
-    const int64_t *dest_c = get_buffer(a, "dest", &pool, 0, 8, NULL);
-    const int64_t *qd_c = get_buffer(a, "domain", &pool, 0, 8, NULL);
-    const int64_t *p1_c = get_buffer(a, "p1", &pool, 0, 8, NULL);
-    const int64_t *p2_c = get_buffer(a, "p2", &pool, 0, 8, NULL);
-    int64_t *newline = get_buffer(a, "newline", &pool, 1, 8, NULL);
+    const int64_t *pcs = get_buffer(a, "pcs", pool, 0, 8, NULL);
+    const int64_t *addrs = get_buffer(a, "addrs", pool, 0, 8, NULL);
+    const int64_t *taken_c = get_buffer(a, "taken", pool, 0, 8, NULL);
+    const int64_t *targets_c = get_buffer(a, "targets", pool, 0, 8, NULL);
+    const int64_t *dest_c = get_buffer(a, "dest", pool, 0, 8, NULL);
+    const int64_t *qd_c = get_buffer(a, "domain", pool, 0, 8, NULL);
+    const int64_t *p1_c = get_buffer(a, "p1", pool, 0, 8, NULL);
+    const int64_t *p2_c = get_buffer(a, "p2", pool, 0, 8, NULL);
+    int64_t *newline = get_buffer(a, "newline", pool, 1, 8, NULL);
     if (!pcs || !addrs || !taken_c || !targets_c || !dest_c || !qd_c || !p1_c
         || !p2_c || !newline)
         goto fail;
 
-    const int64_t *lat_cycles = get_buffer(a, "lat_cycles", &pool, 0, 8, NULL);
-    const int64_t *complex_op = get_buffer(a, "complex_op", &pool, 0, 8, NULL);
-    const int64_t *simple_w = get_buffer(a, "simple_w", &pool, 0, 8, NULL);
-    const int64_t *complex_w = get_buffer(a, "complex_w", &pool, 0, 8, NULL);
-    const int64_t *q_cap = get_buffer(a, "q_cap", &pool, 0, 8, NULL);
-    const double *clock_e = get_buffer(a, "clock_e", &pool, 0, 8, NULL);
-    const double *idle_e = get_buffer(a, "idle_e", &pool, 0, 8, NULL);
-    const double *e_issue_a = get_buffer(a, "e_issue", &pool, 0, 8, NULL);
-    const double *e_simple_a = get_buffer(a, "e_simple", &pool, 0, 8, NULL);
-    const double *e_complex_a = get_buffer(a, "e_complex", &pool, 0, 8, NULL);
-    double *reg_cur = get_buffer(a, "reg_cur", &pool, 1, 8, NULL);
-    double *reg_tgt = get_buffer(a, "reg_tgt", &pool, 1, 8, NULL);
-    double *reg_last = get_buffer(a, "reg_last", &pool, 1, 8, NULL);
-    const double *reg_slew = get_buffer(a, "reg_slew", &pool, 0, 8, NULL);
-    double *reg_slew_acc = get_buffer(a, "reg_slew_acc", &pool, 1, 8, NULL);
-    double *edge_ns = get_buffer(a, "edge", &pool, 1, 8, NULL);
-    int64_t *cycle_idx = get_buffer(a, "cyc", &pool, 1, 8, NULL);
-    double *acc_clock = get_buffer(a, "acc_clock", &pool, 1, 8, NULL);
-    double *acc_struct = get_buffer(a, "acc_struct", &pool, 1, 8, NULL);
-    int64_t *n_busy = get_buffer(a, "n_busy", &pool, 1, 8, NULL);
-    int64_t *n_idle = get_buffer(a, "n_idle", &pool, 1, 8, NULL);
-    int64_t *q_occ = get_buffer(a, "q_occ", &pool, 1, 8, NULL);
-    int64_t *q_writes = get_buffer(a, "q_writes", &pool, 1, 8, NULL);
-    int64_t *cache_stats = get_buffer(a, "cache_stats", &pool, 1, 8, NULL);
-    int64_t *bp_stats = get_buffer(a, "bp_stats", &pool, 1, 8, NULL);
-    double *cur_freq = get_buffer(a, "cur_freq", &pool, 1, 8, NULL);
+    const int64_t *lat_cycles = get_buffer(a, "lat_cycles", pool, 0, 8, NULL);
+    const int64_t *complex_op = get_buffer(a, "complex_op", pool, 0, 8, NULL);
+    const int64_t *simple_w = get_buffer(a, "simple_w", pool, 0, 8, NULL);
+    const int64_t *complex_w = get_buffer(a, "complex_w", pool, 0, 8, NULL);
+    const int64_t *q_cap = get_buffer(a, "q_cap", pool, 0, 8, NULL);
+    const double *clock_e = get_buffer(a, "clock_e", pool, 0, 8, NULL);
+    const double *idle_e = get_buffer(a, "idle_e", pool, 0, 8, NULL);
+    const double *e_issue_a = get_buffer(a, "e_issue", pool, 0, 8, NULL);
+    const double *e_simple_a = get_buffer(a, "e_simple", pool, 0, 8, NULL);
+    const double *e_complex_a = get_buffer(a, "e_complex", pool, 0, 8, NULL);
+    double *reg_cur = get_buffer(a, "reg_cur", pool, 1, 8, NULL);
+    double *reg_tgt = get_buffer(a, "reg_tgt", pool, 1, 8, NULL);
+    double *reg_last = get_buffer(a, "reg_last", pool, 1, 8, NULL);
+    const double *reg_slew = get_buffer(a, "reg_slew", pool, 0, 8, NULL);
+    double *reg_slew_acc = get_buffer(a, "reg_slew_acc", pool, 1, 8, NULL);
+    double *edge_ns = get_buffer(a, "edge", pool, 1, 8, NULL);
+    int64_t *cycle_idx = get_buffer(a, "cyc", pool, 1, 8, NULL);
+    double *acc_clock = get_buffer(a, "acc_clock", pool, 1, 8, NULL);
+    double *acc_struct = get_buffer(a, "acc_struct", pool, 1, 8, NULL);
+    int64_t *n_busy = get_buffer(a, "n_busy", pool, 1, 8, NULL);
+    int64_t *n_idle = get_buffer(a, "n_idle", pool, 1, 8, NULL);
+    int64_t *q_occ = get_buffer(a, "q_occ", pool, 1, 8, NULL);
+    int64_t *q_writes = get_buffer(a, "q_writes", pool, 1, 8, NULL);
+    int64_t *cache_stats = get_buffer(a, "cache_stats", pool, 1, 8, NULL);
+    int64_t *bp_stats = get_buffer(a, "bp_stats", pool, 1, 8, NULL);
+    double *cur_freq = get_buffer(a, "cur_freq", pool, 1, 8, NULL);
     if (!lat_cycles || !complex_op || !simple_w || !complex_w || !q_cap
         || !clock_e || !idle_e || !e_issue_a || !e_simple_a || !e_complex_a
         || !reg_cur || !reg_tgt || !reg_last || !reg_slew || !reg_slew_acc
@@ -428,20 +520,20 @@ run_compiled(PyObject *self, PyObject *args)
             || get_double(a, "cfg_min_mhz", &cfg_min_mhz)
             || get_double(a, "cfg_max_mhz", &cfg_max_mhz))
             goto fail;
-        ad_ctrl = get_buffer(a, "ad_ctrl", &pool, 0, 8, NULL);
-        ad_freq = get_buffer(a, "ad_freq", &pool, 1, 8, NULL);
-        ad_prev_util = get_buffer(a, "ad_prev_util", &pool, 1, 8, NULL);
-        ad_upper = get_buffer(a, "ad_upper", &pool, 1, 8, NULL);
-        ad_lower = get_buffer(a, "ad_lower", &pool, 1, 8, NULL);
-        ad_attacks_up = get_buffer(a, "ad_attacks_up", &pool, 1, 8, NULL);
-        ad_attacks_down = get_buffer(a, "ad_attacks_down", &pool, 1, 8, NULL);
-        ad_decays = get_buffer(a, "ad_decays", &pool, 1, 8, NULL);
-        ad_holds = get_buffer(a, "ad_holds", &pool, 1, 8, NULL);
-        ad_ipc = get_buffer(a, "ad_ipc", &pool, 1, 8, NULL);
+        ad_ctrl = get_buffer(a, "ad_ctrl", pool, 0, 8, NULL);
+        ad_freq = get_buffer(a, "ad_freq", pool, 1, 8, NULL);
+        ad_prev_util = get_buffer(a, "ad_prev_util", pool, 1, 8, NULL);
+        ad_upper = get_buffer(a, "ad_upper", pool, 1, 8, NULL);
+        ad_lower = get_buffer(a, "ad_lower", pool, 1, 8, NULL);
+        ad_attacks_up = get_buffer(a, "ad_attacks_up", pool, 1, 8, NULL);
+        ad_attacks_down = get_buffer(a, "ad_attacks_down", pool, 1, 8, NULL);
+        ad_decays = get_buffer(a, "ad_decays", pool, 1, 8, NULL);
+        ad_holds = get_buffer(a, "ad_holds", pool, 1, 8, NULL);
+        ad_ipc = get_buffer(a, "ad_ipc", pool, 1, 8, NULL);
         Py_ssize_t table_n = 0;
-        freq_table = get_buffer(a, "freq_table", &pool, 0, 8, &table_n);
-        reg_requests = get_buffer(a, "reg_requests", &pool, 1, 8, NULL);
-        reg_dirchg = get_buffer(a, "reg_dirchg", &pool, 1, 8, NULL);
+        freq_table = get_buffer(a, "freq_table", pool, 0, 8, &table_n);
+        reg_requests = get_buffer(a, "reg_requests", pool, 1, 8, NULL);
+        reg_dirchg = get_buffer(a, "reg_dirchg", pool, 1, 8, NULL);
         if (!ad_ctrl || !ad_freq || !ad_prev_util || !ad_upper || !ad_lower
             || !ad_attacks_up || !ad_attacks_down || !ad_decays || !ad_holds
             || !ad_ipc || !freq_table || !reg_requests || !reg_dirchg)
@@ -470,34 +562,33 @@ run_compiled(PyObject *self, PyObject *args)
         goto fail;
     }
 
-    l1i_tags = PyMem_Malloc(l1i_nsets * l1i_ways * sizeof(int64_t));
-    l1i_cnt = PyMem_Calloc(l1i_nsets, sizeof(int32_t));
-    l1d_tags = PyMem_Malloc(l1d_nsets * l1d_ways * sizeof(int64_t));
-    l1d_cnt = PyMem_Calloc(l1d_nsets, sizeof(int32_t));
-    l2_tags = PyMem_Malloc(l2_nsets * l2_ways * sizeof(int64_t));
-    l2_cnt = PyMem_Calloc(l2_nsets, sizeof(int32_t));
-    if (!l1i_tags || !l1i_cnt || !l1d_tags || !l1d_cnt || !l2_tags || !l2_cnt) {
+    rs->l1i_tags = PyMem_Malloc(l1i_nsets * l1i_ways * sizeof(int64_t));
+    rs->l1i_cnt = PyMem_Calloc(l1i_nsets, sizeof(int32_t));
+    rs->l1d_tags = PyMem_Malloc(l1d_nsets * l1d_ways * sizeof(int64_t));
+    rs->l1d_cnt = PyMem_Calloc(l1d_nsets, sizeof(int32_t));
+    rs->l2_tags = PyMem_Malloc(l2_nsets * l2_ways * sizeof(int64_t));
+    rs->l2_cnt = PyMem_Calloc(l2_nsets, sizeof(int32_t));
+    if (!rs->l1i_tags || !rs->l1i_cnt || !rs->l1d_tags || !rs->l1d_cnt || !rs->l2_tags || !rs->l2_cnt) {
         PyErr_NoMemory();
         goto fail;
     }
-    if (sets_from_list(l1i_sets_o, l1i_nsets, l1i_ways, l1i_tags, l1i_cnt)
-        || sets_from_list(l1d_sets_o, l1d_nsets, l1d_ways, l1d_tags, l1d_cnt)
-        || sets_from_list(l2_sets_o, l2_nsets, l2_ways, l2_tags, l2_cnt))
+    if (sets_from_list(l1i_sets_o, l1i_nsets, l1i_ways, rs->l1i_tags, rs->l1i_cnt)
+        || sets_from_list(l1d_sets_o, l1d_nsets, l1d_ways, rs->l1d_tags, rs->l1d_cnt)
+        || sets_from_list(l2_sets_o, l2_nsets, l2_ways, rs->l2_tags, rs->l2_cnt))
         goto fail;
 
-    Py_ssize_t hist_len, pl2_len, bim_len, meta_len;
-    hist = ints_from_list(hist_o, &hist_len);
-    pl2 = ints_from_list(pl2_o, &pl2_len);
-    bim = ints_from_list(bim_o, &bim_len);
-    meta = ints_from_list(meta_o, &meta_len);
-    if (!hist || !pl2 || !bim || !meta)
+    rs->hist = ints_from_list(hist_o, &rs->hist_len);
+    rs->pl2 = ints_from_list(pl2_o, &rs->pl2_len);
+    rs->bim = ints_from_list(bim_o, &rs->bim_len);
+    rs->meta = ints_from_list(meta_o, &rs->meta_len);
+    if (!rs->hist || !rs->pl2 || !rs->bim || !rs->meta)
         goto fail;
 
     /* BTB: list (per set) of list of (tag, target) tuples, MRU last. */
-    btb_tags = PyMem_Malloc(btb_nsets * btb_ways * sizeof(int64_t));
-    btb_tgts = PyMem_Malloc(btb_nsets * btb_ways * sizeof(int64_t));
-    btb_cnt = PyMem_Calloc(btb_nsets, sizeof(int32_t));
-    if (!btb_tags || !btb_tgts || !btb_cnt) {
+    rs->btb_tags = PyMem_Malloc(btb_nsets * btb_ways * sizeof(int64_t));
+    rs->btb_tgts = PyMem_Malloc(btb_nsets * btb_ways * sizeof(int64_t));
+    rs->btb_cnt = PyMem_Calloc(btb_nsets, sizeof(int32_t));
+    if (!rs->btb_tags || !rs->btb_tgts || !rs->btb_cnt) {
         PyErr_NoMemory();
         goto fail;
     }
@@ -506,12 +597,12 @@ run_compiled(PyObject *self, PyObject *args)
         Py_ssize_t k = PyList_GET_SIZE(s);
         if (k > btb_ways)
             k = btb_ways;
-        btb_cnt[i] = (int32_t)k;
+        rs->btb_cnt[i] = (int32_t)k;
         for (Py_ssize_t j = 0; j < k; j++) {
             PyObject *pair = PyList_GET_ITEM(s, j);
-            btb_tags[i * btb_ways + j] =
+            rs->btb_tags[i * btb_ways + j] =
                 PyLong_AsLongLong(PyTuple_GET_ITEM(pair, 0));
-            btb_tgts[i * btb_ways + j] =
+            rs->btb_tgts[i * btb_ways + j] =
                 PyLong_AsLongLong(PyTuple_GET_ITEM(pair, 1));
             if (PyErr_Occurred())
                 goto fail;
@@ -519,23 +610,237 @@ run_compiled(PyObject *self, PyObject *args)
     }
 
     /* Jitter buffers (consumed from the tail, exactly like list.pop). */
-    Py_ssize_t jlen[4] = {0, 0, 0, 0};
     for (int d = 0; d < 4; d++) {
         PyObject *lst = PyList_GET_ITEM(jlists, d);
         Py_ssize_t k = PyList_GET_SIZE(lst);
-        jbuf[d] = PyMem_Malloc((k ? k : 1) * sizeof(double));
-        if (jbuf[d] == NULL) {
+        rs->jbuf[d] = PyMem_Malloc((k ? k : 1) * sizeof(double));
+        if (rs->jbuf[d] == NULL) {
             PyErr_NoMemory();
             goto fail;
         }
         for (Py_ssize_t j = 0; j < k; j++) {
-            jbuf[d][j] = PyFloat_AsDouble(PyList_GET_ITEM(lst, j));
+            rs->jbuf[d][j] = PyFloat_AsDouble(PyList_GET_ITEM(lst, j));
             if (PyErr_Occurred())
                 goto fail;
         }
-        jlen[d] = k;
+        rs->jlen[d] = k;
     }
 
+    /* Validation that used to sit in the run-local setup: raise while
+     * errors still can be raised cheaply, before any compute starts. */
+    rs->rob_seq = PyMem_Malloc(rob_cap * sizeof(int64_t));
+    if (rs->rob_seq == NULL) {
+        PyErr_NoMemory();
+        goto fail;
+    }
+    for (int d = 1; d < 4; d++) {
+        if (q_cap[d] > QMAX) {
+            PyErr_SetString(PyExc_ValueError, "hotpath: issue queue too large");
+            goto fail;
+        }
+    }
+
+    rs->total = total;
+    rs->decode_width = decode_width;
+    rs->retire_width = retire_width;
+    rs->rob_cap = rob_cap;
+    rs->l1_cycles = l1_cycles;
+    rs->l2_cycles = l2_cycles;
+    rs->mispredict_penalty = mispredict_penalty;
+    rs->interval_len = interval_len;
+    rs->mcd_mode = mcd_mode;
+    rs->kind_load = kind_load;
+    rs->kind_store = kind_store;
+    rs->kind_branch = kind_branch;
+    rs->shift = shift;
+    rs->l1i_nsets = l1i_nsets;
+    rs->l1d_nsets = l1d_nsets;
+    rs->l2_nsets = l2_nsets;
+    rs->l1i_ways = l1i_ways;
+    rs->l1d_ways = l1d_ways;
+    rs->l2_ways = l2_ways;
+    rs->hist_mask = hist_mask;
+    rs->btb_nsets = btb_nsets;
+    rs->btb_ways = btb_ways;
+    rs->call_rollover = call_rollover;
+    rs->int_free = int_free;
+    rs->fp_free = fp_free;
+    rs->mem_latency = mem_latency;
+    rs->window = window;
+    rs->vmin = vmin;
+    rs->fmin = fmin;
+    rs->vslope = vslope;
+    rs->vmax_sq_inv = vmax_sq_inv;
+    rs->e_l1i = e_l1i;
+    rs->e_l2 = e_l2;
+    rs->e_bpred = e_bpred;
+    rs->e_retire = e_retire;
+    rs->e_disp_fetch = e_disp_fetch;
+    rs->native_ctrl = native_ctrl;
+    rs->ad_dev = ad_dev;
+    rs->ad_reaction = ad_reaction;
+    rs->ad_decay = ad_decay;
+    rs->ad_perf_deg = ad_perf_deg;
+    rs->ad_alpha = ad_alpha;
+    rs->cfg_min_mhz = cfg_min_mhz;
+    rs->cfg_max_mhz = cfg_max_mhz;
+    rs->freq_step = freq_step;
+    rs->ad_endstop = ad_endstop;
+    rs->ad_literal = ad_literal;
+    rs->freq_points = freq_points;
+    rs->ad_ctrl = ad_ctrl;
+    rs->ad_freq = ad_freq;
+    rs->ad_prev_util = ad_prev_util;
+    rs->ad_ipc = ad_ipc;
+    rs->ad_upper = ad_upper;
+    rs->ad_lower = ad_lower;
+    rs->ad_attacks_up = ad_attacks_up;
+    rs->ad_attacks_down = ad_attacks_down;
+    rs->ad_decays = ad_decays;
+    rs->ad_holds = ad_holds;
+    rs->freq_table = freq_table;
+    rs->reg_requests = reg_requests;
+    rs->reg_dirchg = reg_dirchg;
+    rs->kinds = kinds;
+    rs->pcs = pcs;
+    rs->addrs = addrs;
+    rs->taken_c = taken_c;
+    rs->targets_c = targets_c;
+    rs->dest_c = dest_c;
+    rs->qd_c = qd_c;
+    rs->p1_c = p1_c;
+    rs->p2_c = p2_c;
+    rs->newline = newline;
+    rs->lat_cycles = lat_cycles;
+    rs->complex_op = complex_op;
+    rs->simple_w = simple_w;
+    rs->complex_w = complex_w;
+    rs->q_cap = q_cap;
+    rs->clock_e = clock_e;
+    rs->idle_e = idle_e;
+    rs->e_issue_a = e_issue_a;
+    rs->e_simple_a = e_simple_a;
+    rs->e_complex_a = e_complex_a;
+    rs->reg_cur = reg_cur;
+    rs->reg_tgt = reg_tgt;
+    rs->reg_last = reg_last;
+    rs->reg_slew = reg_slew;
+    rs->reg_slew_acc = reg_slew_acc;
+    rs->edge_ns = edge_ns;
+    rs->cycle_idx = cycle_idx;
+    rs->acc_clock = acc_clock;
+    rs->acc_struct = acc_struct;
+    rs->n_busy = n_busy;
+    rs->n_idle = n_idle;
+    rs->q_occ = q_occ;
+    rs->q_writes = q_writes;
+    rs->cache_stats = cache_stats;
+    rs->bp_stats = bp_stats;
+    rs->cur_freq = cur_freq;
+    rs->l1i_sets_o = l1i_sets_o;
+    rs->l1d_sets_o = l1d_sets_o;
+    rs->l2_sets_o = l2_sets_o;
+    rs->hist_o = hist_o;
+    rs->pl2_o = pl2_o;
+    rs->bim_o = bim_o;
+    rs->meta_o = meta_o;
+    rs->btb_o = btb_o;
+    rs->refill = refill;
+    rs->rollover = rollover;
+    return 0;
+
+fail:
+    return -1;
+}
+
+/* Stage 2: the event loop.  Called with the GIL RELEASED (*tstate_p
+ * holds the saved thread state); the refill/rollover shims re-acquire
+ * it per crossing and the updated state flows back through tstate_p.
+ * Returns 0 on success — including simulator-level "trace exhausted",
+ * which reports through rs->error — and -1 when a Python callback
+ * raised; the caller must PyEval_RestoreThread before touching the
+ * pending exception. */
+static int
+compute_run(RunState *rs, PyThreadState **tstate_p)
+{
+    const int64_t total = rs->total;
+    const int decode_width = rs->decode_width;
+    const int retire_width = rs->retire_width;
+    const int64_t rob_cap = rs->rob_cap;
+    const int64_t l1_cycles = rs->l1_cycles, l2_cycles = rs->l2_cycles;
+    const int64_t mispredict_penalty = rs->mispredict_penalty;
+    const int64_t interval_len = rs->interval_len;
+    const int mcd_mode = rs->mcd_mode;
+    const int64_t kind_load = rs->kind_load, kind_store = rs->kind_store,
+                  kind_branch = rs->kind_branch;
+    const int shift = rs->shift;
+    const int64_t l1i_nsets = rs->l1i_nsets, l1d_nsets = rs->l1d_nsets,
+                  l2_nsets = rs->l2_nsets;
+    const int l1i_ways = rs->l1i_ways, l1d_ways = rs->l1d_ways,
+              l2_ways = rs->l2_ways;
+    const int64_t hist_mask = rs->hist_mask;
+    const int64_t btb_nsets = rs->btb_nsets;
+    const int btb_ways = rs->btb_ways;
+    const int call_rollover = rs->call_rollover;
+    int64_t int_free = rs->int_free, fp_free = rs->fp_free;
+    const double mem_latency = rs->mem_latency, window = rs->window;
+    const double vmin = rs->vmin, fmin = rs->fmin, vslope = rs->vslope,
+                 vmax_sq_inv = rs->vmax_sq_inv;
+    const double e_l1i = rs->e_l1i, e_l2 = rs->e_l2, e_bpred = rs->e_bpred,
+                 e_retire = rs->e_retire, e_disp_fetch = rs->e_disp_fetch;
+    const int native_ctrl = rs->native_ctrl;
+    const double ad_dev = rs->ad_dev, ad_reaction = rs->ad_reaction,
+                 ad_decay = rs->ad_decay, ad_perf_deg = rs->ad_perf_deg,
+                 ad_alpha = rs->ad_alpha;
+    const double cfg_min_mhz = rs->cfg_min_mhz, cfg_max_mhz = rs->cfg_max_mhz,
+                 freq_step = rs->freq_step;
+    const long long ad_endstop = rs->ad_endstop, ad_literal = rs->ad_literal,
+                    freq_points = rs->freq_points;
+    const int64_t *ad_ctrl = rs->ad_ctrl;
+    double *ad_freq = rs->ad_freq, *ad_prev_util = rs->ad_prev_util,
+           *ad_ipc = rs->ad_ipc;
+    int64_t *ad_upper = rs->ad_upper, *ad_lower = rs->ad_lower;
+    int64_t *ad_attacks_up = rs->ad_attacks_up,
+            *ad_attacks_down = rs->ad_attacks_down;
+    int64_t *ad_decays = rs->ad_decays, *ad_holds = rs->ad_holds;
+    const double *freq_table = rs->freq_table;
+    int64_t *reg_requests = rs->reg_requests, *reg_dirchg = rs->reg_dirchg;
+    const int64_t *kinds = rs->kinds, *pcs = rs->pcs, *addrs = rs->addrs;
+    const int64_t *taken_c = rs->taken_c, *targets_c = rs->targets_c;
+    const int64_t *dest_c = rs->dest_c, *qd_c = rs->qd_c;
+    const int64_t *p1_c = rs->p1_c, *p2_c = rs->p2_c;
+    int64_t *newline = rs->newline;
+    const int64_t *lat_cycles = rs->lat_cycles, *complex_op = rs->complex_op;
+    const int64_t *simple_w = rs->simple_w, *complex_w = rs->complex_w;
+    const int64_t *q_cap = rs->q_cap;
+    const double *clock_e = rs->clock_e, *idle_e = rs->idle_e;
+    const double *e_issue_a = rs->e_issue_a, *e_simple_a = rs->e_simple_a,
+                 *e_complex_a = rs->e_complex_a;
+    double *reg_cur = rs->reg_cur, *reg_tgt = rs->reg_tgt,
+           *reg_last = rs->reg_last;
+    const double *reg_slew = rs->reg_slew;
+    double *reg_slew_acc = rs->reg_slew_acc;
+    double *edge_ns = rs->edge_ns;
+    int64_t *cycle_idx = rs->cycle_idx;
+    double *acc_clock = rs->acc_clock, *acc_struct = rs->acc_struct;
+    int64_t *n_busy = rs->n_busy, *n_idle = rs->n_idle;
+    int64_t *q_occ = rs->q_occ, *q_writes = rs->q_writes;
+    int64_t *cache_stats = rs->cache_stats, *bp_stats = rs->bp_stats;
+    double *cur_freq = rs->cur_freq;
+    int64_t *l1i_tags = rs->l1i_tags, *l1d_tags = rs->l1d_tags,
+            *l2_tags = rs->l2_tags;
+    int32_t *l1i_cnt = rs->l1i_cnt, *l1d_cnt = rs->l1d_cnt,
+            *l2_cnt = rs->l2_cnt;
+    int64_t *hist = rs->hist, *pl2 = rs->pl2, *bim = rs->bim, *meta = rs->meta;
+    const Py_ssize_t hist_len = rs->hist_len, pl2_len = rs->pl2_len,
+                     bim_len = rs->bim_len, meta_len = rs->meta_len;
+    int64_t *btb_tags = rs->btb_tags, *btb_tgts = rs->btb_tgts;
+    int32_t *btb_cnt = rs->btb_cnt;
+    double **jbuf = rs->jbuf;
+    Py_ssize_t *jlen = rs->jlen;
+    int64_t *rob_seq = rs->rob_seq;
+    PyObject *refill = rs->refill, *rollover = rs->rollover;
+    PyThreadState *tstate = *tstate_p;
     /* --- local run state ---------------------------------------------- */
     double fin_ns[RING];
     int64_t fin_cycle[RING];
@@ -546,23 +851,12 @@ run_compiled(PyObject *self, PyObject *args)
         fin_domain[i] = -1;
     }
 
-    rob_seq = PyMem_Malloc(rob_cap * sizeof(int64_t));
-    if (rob_seq == NULL) {
-        PyErr_NoMemory();
-        goto fail;
-    }
     int64_t rob_head = 0, rob_n = 0; /* ring buffer over rob_cap slots */
 
     int64_t q_seq[4][QMAX];
     double q_t[4][QMAX];
     double q_retry[4][QMAX];
     int q_len[4] = {0, 0, 0, 0};
-    for (int d = 1; d < 4; d++) {
-        if (q_cap[d] > QMAX) {
-            PyErr_SetString(PyExc_ValueError, "hotpath: issue queue too large");
-            goto fail;
-        }
-    }
 
     double cur_period[4], cur_vscale[4];
     int slewing[4];
@@ -585,7 +879,6 @@ run_compiled(PyObject *self, PyObject *args)
 
     /* ---- compute stage: pure C, GIL released ------------------------- */
     int py_error = 0;
-    PyThreadState *tstate = PyEval_SaveThread();
 
     while (retired < total) {
         int d = 0;
@@ -1421,11 +1714,47 @@ run_compiled(PyObject *self, PyObject *args)
         }
     }
 
-    /* ---- end of compute stage: re-acquire the GIL -------------------- */
-    PyEval_RestoreThread(tstate);
-    if (py_error)
-        goto fail; /* callback exception already pending */
+    rs->retired = retired;
+    rs->wall = wall;
+    rs->memory_accesses = memory_accesses;
+    rs->dispatch_stall_cycles = dispatch_stall_cycles;
+    rs->int_free = int_free;
+    rs->fp_free = fp_free;
+    rs->error = error;
+    *tstate_p = tstate;
+    return py_error ? -1 : 0;
+}
 
+/* Stage 3: fold cache/predictor/BTB state back into the owning Python
+ * objects and build the per-run result dict (GIL held). */
+static PyObject *
+writeback_run(RunState *rs)
+{
+    PyObject *l1i_sets_o = rs->l1i_sets_o, *l1d_sets_o = rs->l1d_sets_o;
+    PyObject *l2_sets_o = rs->l2_sets_o;
+    PyObject *hist_o = rs->hist_o, *pl2_o = rs->pl2_o, *bim_o = rs->bim_o;
+    PyObject *meta_o = rs->meta_o, *btb_o = rs->btb_o;
+    const int64_t l1i_nsets = rs->l1i_nsets, l1d_nsets = rs->l1d_nsets,
+                  l2_nsets = rs->l2_nsets;
+    const int l1i_ways = rs->l1i_ways, l1d_ways = rs->l1d_ways,
+              l2_ways = rs->l2_ways;
+    int64_t *l1i_tags = rs->l1i_tags, *l1d_tags = rs->l1d_tags,
+            *l2_tags = rs->l2_tags;
+    int32_t *l1i_cnt = rs->l1i_cnt, *l1d_cnt = rs->l1d_cnt,
+            *l2_cnt = rs->l2_cnt;
+    int64_t *hist = rs->hist, *pl2 = rs->pl2, *bim = rs->bim, *meta = rs->meta;
+    const Py_ssize_t hist_len = rs->hist_len, pl2_len = rs->pl2_len,
+                     bim_len = rs->bim_len, meta_len = rs->meta_len;
+    const int64_t btb_nsets = rs->btb_nsets;
+    const int btb_ways = rs->btb_ways;
+    int64_t *btb_tags = rs->btb_tags, *btb_tgts = rs->btb_tgts;
+    int32_t *btb_cnt = rs->btb_cnt;
+    const int64_t retired = rs->retired;
+    const double wall = rs->wall;
+    const int64_t memory_accesses = rs->memory_accesses;
+    const int64_t dispatch_stall_cycles = rs->dispatch_stall_cycles;
+    const int64_t int_free = rs->int_free, fp_free = rs->fp_free;
+    const char *error = rs->error;
     /* --- marshal state back ------------------------------------------- */
     if (sets_to_list(l1i_sets_o, l1i_nsets, l1i_ways, l1i_tags, l1i_cnt)
         || sets_to_list(l1d_sets_o, l1d_nsets, l1d_ways, l1d_tags, l1d_cnt)
@@ -1433,55 +1762,124 @@ run_compiled(PyObject *self, PyObject *args)
         || ints_to_list(hist_o, hist, hist_len)
         || ints_to_list(pl2_o, pl2, pl2_len) || ints_to_list(bim_o, bim, bim_len)
         || ints_to_list(meta_o, meta, meta_len))
-        goto fail;
+        return NULL;
     for (Py_ssize_t i = 0; i < btb_nsets; i++) {
         PyObject *s = PyList_New(btb_cnt[i]);
         if (s == NULL)
-            goto fail;
+            return NULL;
         for (Py_ssize_t j = 0; j < btb_cnt[i]; j++) {
             PyObject *pair = Py_BuildValue(
                 "(LL)", (long long)btb_tags[i * btb_ways + j],
                 (long long)btb_tgts[i * btb_ways + j]);
             if (pair == NULL) {
                 Py_DECREF(s);
-                goto fail;
+                return NULL;
             }
             PyList_SET_ITEM(s, j, pair);
         }
         if (PyList_SetItem(btb_o, i, s) < 0)
-            goto fail;
+            return NULL;
     }
 
-    result = Py_BuildValue(
+    return Py_BuildValue(
         "{s:L,s:d,s:L,s:L,s:L,s:L,s:s}", "retired", (long long)retired, "wall",
         wall, "memory_accesses", (long long)memory_accesses,
         "dispatch_stall_cycles", (long long)dispatch_stall_cycles, "int_free",
         (long long)int_free, "fp_free", (long long)fp_free, "error", error);
+}
 
-fail:
-    release_views(&pool);
-    PyMem_Free(l1i_tags);
-    PyMem_Free(l1i_cnt);
-    PyMem_Free(l1d_tags);
-    PyMem_Free(l1d_cnt);
-    PyMem_Free(l2_tags);
-    PyMem_Free(l2_cnt);
-    PyMem_Free(hist);
-    PyMem_Free(pl2);
-    PyMem_Free(bim);
-    PyMem_Free(meta);
-    PyMem_Free(btb_tags);
-    PyMem_Free(btb_tgts);
-    PyMem_Free(btb_cnt);
-    PyMem_Free(rob_seq);
-    for (int d2 = 0; d2 < 4; d2++)
-        PyMem_Free(jbuf[d2]);
+/* ------------------------------------------------------- entry points */
+
+static PyObject *
+run_compiled(PyObject *self, PyObject *args)
+{
+    PyObject *a; /* argument dict */
+    if (!PyArg_ParseTuple(args, "O!", &PyDict_Type, &a))
+        return NULL;
+
+    RunState *rs = PyMem_Calloc(1, sizeof(RunState));
+    if (rs == NULL)
+        return PyErr_NoMemory();
+    PyObject *result = NULL;
+    if (marshal_run(a, rs) == 0) {
+        PyThreadState *tstate = PyEval_SaveThread();
+        int rc = compute_run(rs, &tstate);
+        PyEval_RestoreThread(tstate);
+        if (rc == 0)
+            result = writeback_run(rs);
+    }
+    free_run(rs);
+    PyMem_Free(rs);
     return result;
+}
+
+static PyObject *
+run_batch(PyObject *self, PyObject *args)
+{
+    PyObject *list; /* list of argument dicts, one per run */
+    if (!PyArg_ParseTuple(args, "O!", &PyList_Type, &list))
+        return NULL;
+
+    Py_ssize_t n = PyList_GET_SIZE(list);
+    RunState *runs = PyMem_Calloc(n ? (size_t)n : 1, sizeof(RunState));
+    if (runs == NULL)
+        return PyErr_NoMemory();
+
+    PyObject *out = NULL;
+    int failed = 0;
+
+    /* Stage 1: marshal every run with the GIL held. */
+    for (Py_ssize_t i = 0; i < n && !failed; i++) {
+        PyObject *a = PyList_GET_ITEM(list, i);
+        if (!PyDict_Check(a)) {
+            PyErr_SetString(PyExc_TypeError,
+                            "hotpath: run_batch wants a list of dicts");
+            failed = 1;
+        } else if (marshal_run(a, &runs[i]) < 0) {
+            failed = 1;
+        }
+    }
+
+    /* Stage 2: one GIL release for the whole batch.  The only Python
+     * crossings until every run has computed are the per-run
+     * refill/rollover bridge shims. */
+    if (!failed) {
+        PyThreadState *tstate = PyEval_SaveThread();
+        for (Py_ssize_t i = 0; i < n; i++) {
+            if (compute_run(&runs[i], &tstate) < 0) {
+                failed = 1; /* callback raised; exception is pending */
+                break;
+            }
+        }
+        PyEval_RestoreThread(tstate);
+    }
+
+    /* Stage 3: per-run writeback into the owning Python objects. */
+    if (!failed) {
+        out = PyList_New(n);
+        if (out != NULL) {
+            for (Py_ssize_t i = 0; i < n; i++) {
+                PyObject *res = writeback_run(&runs[i]);
+                if (res == NULL) {
+                    Py_CLEAR(out);
+                    break;
+                }
+                PyList_SET_ITEM(out, i, res);
+            }
+        }
+    }
+
+    for (Py_ssize_t i = 0; i < n; i++)
+        free_run(&runs[i]);
+    PyMem_Free(runs);
+    return out;
 }
 
 static PyMethodDef hotpath_methods[] = {
     {"run_compiled", run_compiled, METH_VARARGS,
      "Run the batched core loop over compiled-trace columns."},
+    {"run_batch", run_batch, METH_VARARGS,
+     "Run a vector of compiled simulations under one GIL release."},
     {NULL, NULL, 0, NULL},
 };
 

@@ -367,8 +367,8 @@ class TraceStore:
     def _path(self, key: str) -> Path:
         return self.directory / f"{key}.npz"
 
-    def load(self, key: str, line_shift: int) -> CompiledTrace | None:
-        """The stored trace under ``key`` derived for ``line_shift``.
+    def load_columns(self, key: str) -> tuple[np.ndarray, ...] | None:
+        """The validated base columns under ``key``, or None on a miss.
 
         A present-but-unreadable entry counts as a miss and is logged,
         never raised: a truncated ``.npz`` (``zipfile.BadZipFile`` /
@@ -380,7 +380,7 @@ class TraceStore:
             return None
         columns = self._memo.get(key)
         if columns is not None:
-            return from_columns(columns, line_shift)
+            return columns
         path = self._path(key)
         try:
             with np.load(path) as data:
@@ -396,6 +396,13 @@ class TraceStore:
             )
             return None
         self._memo.put(key, columns)
+        return columns
+
+    def load(self, key: str, line_shift: int) -> CompiledTrace | None:
+        """The stored trace under ``key`` derived for ``line_shift``."""
+        columns = self.load_columns(key)
+        if columns is None:
+            return None
         return from_columns(columns, line_shift)
 
     def store(self, key: str, columns: tuple[np.ndarray, ...]) -> None:

@@ -614,13 +614,63 @@ class MCDCore:
         return self._run_generator()
 
     def _run_compiled_native(self, hotpath) -> CoreResult:
-        """Run the C translation of the batched loop.
+        """Run the C translation of the batched loop (one core, one call)."""
+        args, finish = self.native_marshal()
+        return finish(hotpath.run_compiled(args))
 
-        This method is pure marshalling: pack compiled columns and
-        warm microarchitectural state for :func:`_hotpath.run_compiled`,
-        expose the controller to the C loop, and fold the results back
-        into the owning Python objects exactly as :meth:`_run_compiled`
-        would leave them.
+    def warm_state_snapshot(self):
+        """Deep-copy the microarchitectural state :meth:`warm_up` builds.
+
+        Warm-up replays the trace through the caches, the branch
+        predictor tables and the BTB, then zeroes their stats — for a
+        given (trace, geometry) the result is deterministic and
+        seed-independent.  The snapshot captures exactly that state so
+        a batch of runs over one trace can warm up once and clone the
+        result instead of replaying the trace per run.
+        """
+        hierarchy = self.hierarchy
+        predictor = self.predictor
+        return (
+            [list(s) for s in hierarchy.l1i._sets],
+            [list(s) for s in hierarchy.l1d._sets],
+            [list(s) for s in hierarchy.l2._sets],
+            list(predictor._history),
+            list(predictor._l2),
+            list(predictor._bimodal),
+            list(predictor._meta),
+            [list(s) for s in predictor.btb._table],
+        )
+
+    def restore_warm_state(self, snapshot) -> None:
+        """Install a :meth:`warm_state_snapshot` into this (fresh) core.
+
+        Byte-for-byte equivalent to running :meth:`warm_up` over the
+        same trace: the snapshot holds everything warm-up mutates, and
+        a freshly-built core's stats are already the zeros warm-up
+        resets them to.
+        """
+        l1i, l1d, l2, hist, pl2, bim, meta, btb = snapshot
+        hierarchy = self.hierarchy
+        predictor = self.predictor
+        hierarchy.l1i._sets = [list(s) for s in l1i]
+        hierarchy.l1d._sets = [list(s) for s in l1d]
+        hierarchy.l2._sets = [list(s) for s in l2]
+        predictor._history = list(hist)
+        predictor._l2 = list(pl2)
+        predictor._bimodal = list(bim)
+        predictor._meta = list(meta)
+        predictor.btb._table = [list(s) for s in btb]
+
+    def native_marshal(self):
+        """Marshal this core for the C loop; returns ``(args, finish)``.
+
+        ``args`` is the argument dict :func:`_hotpath.run_compiled`
+        consumes (also one slot of a :func:`_hotpath.run_batch` vector);
+        ``finish(res)`` folds the C loop's result back into the owning
+        Python objects exactly as :meth:`_run_compiled` would leave
+        them and returns the :class:`CoreResult`.  Splitting the two
+        lets the engine marshal N cores up front, run the whole batch
+        under one GIL release, and fold each run back afterwards.
 
         A stock :class:`~repro.control.attack_decay.AttackDecayController`
         is marshalled into flat registers and run *inside* the C loop —
@@ -886,58 +936,62 @@ class MCDCore:
         }
         if native_ctrl_args is not None:
             args.update(native_ctrl_args)
-        res = hotpath.run_compiled(args)
-        if res["error"]:
-            raise SimulationError(
-                f"trace exhausted with {res['retired']}/{comp.n} retired"
+
+        def finish(res: dict) -> CoreResult:
+            """Fold one C-loop result back into the owning objects."""
+            if res["error"]:
+                raise SimulationError(
+                    f"trace exhausted with {res['retired']}/{comp.n} retired"
+                )
+
+            # Fold the run's state back into the owning objects, exactly
+            # as the Python paths leave them.
+            self.int_regs.free = res["int_free"]
+            self.fp_regs.free = res["fp_free"]
+            for i in (1, 2, 3):
+                queue = self.queues[i]
+                queue.writes += int(q_writes[i])
+                queue.occupancy_accumulated += int(q_occ[i])
+            for i in range(4):
+                clock = clocks[i]
+                clock.next_edge_ns = float(edge[i])
+                clock.cycle_index = int(cyc[i])
+                clock.period_ns = 1e3 / float(cur_freq[i])
+                reg = regulators[i]
+                reg.current_mhz = float(reg_cur[i])
+                reg.target_mhz = float(reg_tgt[i])
+                reg._last_time_ns = float(reg_last[i])
+                reg.stats.slewing_time_ns += float(reg_slew_acc[i])
+            hierarchy.l1i.stats.accesses += int(cache_stats[0])
+            hierarchy.l1i.stats.misses += int(cache_stats[1])
+            hierarchy.l1d.stats.accesses += int(cache_stats[2])
+            hierarchy.l1d.stats.misses += int(cache_stats[3])
+            hierarchy.l2.stats.accesses += int(cache_stats[4])
+            hierarchy.l2.stats.misses += int(cache_stats[5])
+            bstats = predictor.stats
+            bstats.lookups += int(bp_stats[0])
+            bstats.direction_mispredicts += int(bp_stats[1])
+            bstats.btb_target_misses += int(bp_stats[2])
+            if native_ctrl_args is not None:
+                fold_native_controller(controller, regulators, native_ctrl_args)
+            for i, dom in enumerate(_DOMAINS):
+                acct.add_raw(
+                    dom,
+                    float(acc_clock[i]),
+                    float(acc_struct[i]),
+                    int(n_busy[i]),
+                    int(n_idle[i]),
+                )
+            acct.add_memory_accesses(res["memory_accesses"])
+            return self._build_result(
+                res["retired"],
+                res["wall"],
+                res["memory_accesses"],
+                res["dispatch_stall_cycles"],
+                intervals,
             )
 
-        # Fold the run's state back into the owning objects, exactly as
-        # the Python paths leave them.
-        self.int_regs.free = res["int_free"]
-        self.fp_regs.free = res["fp_free"]
-        for i in (1, 2, 3):
-            queue = self.queues[i]
-            queue.writes += int(q_writes[i])
-            queue.occupancy_accumulated += int(q_occ[i])
-        for i in range(4):
-            clock = clocks[i]
-            clock.next_edge_ns = float(edge[i])
-            clock.cycle_index = int(cyc[i])
-            clock.period_ns = 1e3 / float(cur_freq[i])
-            reg = regulators[i]
-            reg.current_mhz = float(reg_cur[i])
-            reg.target_mhz = float(reg_tgt[i])
-            reg._last_time_ns = float(reg_last[i])
-            reg.stats.slewing_time_ns += float(reg_slew_acc[i])
-        hierarchy.l1i.stats.accesses += int(cache_stats[0])
-        hierarchy.l1i.stats.misses += int(cache_stats[1])
-        hierarchy.l1d.stats.accesses += int(cache_stats[2])
-        hierarchy.l1d.stats.misses += int(cache_stats[3])
-        hierarchy.l2.stats.accesses += int(cache_stats[4])
-        hierarchy.l2.stats.misses += int(cache_stats[5])
-        bstats = predictor.stats
-        bstats.lookups += int(bp_stats[0])
-        bstats.direction_mispredicts += int(bp_stats[1])
-        bstats.btb_target_misses += int(bp_stats[2])
-        if native_ctrl_args is not None:
-            fold_native_controller(controller, regulators, native_ctrl_args)
-        for i, dom in enumerate(_DOMAINS):
-            acct.add_raw(
-                dom,
-                float(acc_clock[i]),
-                float(acc_struct[i]),
-                int(n_busy[i]),
-                int(n_idle[i]),
-            )
-        acct.add_memory_accesses(res["memory_accesses"])
-        return self._build_result(
-            res["retired"],
-            res["wall"],
-            res["memory_accesses"],
-            res["dispatch_stall_cycles"],
-            intervals,
-        )
+        return args, finish
 
     def _run_generator(self) -> CoreResult:
         """Reference path: per-instruction cursor over a generator trace."""

@@ -1,0 +1,467 @@
+"""Batched native sweeps + shared-memory traces: the differential harness.
+
+The batch entry point (``_hotpath.run_batch``) and the shared-memory
+trace layer only earn their keep if they are invisible in the results:
+a batched sweep must be byte-identical to the per-run paths on every
+backend, at every batch size, for every controller variant — and a
+sweep must never leak a ``/dev/shm`` segment, however it ends.  This
+module locks both properties down:
+
+* an engine-level differential fuzz — a seeded matrix of specs
+  (catalog + derived stressor benchmarks, both ``literal_listing``
+  controller variants, mixed seeds) executed through
+  :func:`~repro.sim.engine.run_specs_batch` at batch sizes {1, 3,
+  matrix} and compared summary-for-summary against per-run
+  :func:`~repro.sim.engine.run_spec`, plus the batched-Python and
+  generator reference paths (>= 30 compared cases in total);
+* an orchestrator-level differential: serial / thread / process
+  backends x batch sizes {1, 3, matrix, > matrix}, fork and spawn,
+  all equal to the serial per-run reference, with per-scenario error
+  isolation inside a batch cell;
+* shared-memory lifecycle: segment round-trip, read-only views,
+  idempotent unlink, attach-failure fallback (logged, non-fatal),
+  owner-side cleanup after normal sweeps and after a worker raises
+  mid-batch — asserted against the OS segment namespace (``psutil``
+  when available, else a ``/dev/shm`` scan);
+* unit coverage for ``parse_batch`` / ``default_batch``,
+  ``Orchestrator._resolve_batch`` / ``_batch_cells`` edge cases
+  (serial with an explicit batch, batch > matrix, the 32-cell cap),
+  and CLI exit code 2 on malformed ``--batch`` / ``REPRO_BATCH``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import logging
+import random
+from pathlib import Path
+
+import pytest
+
+from repro.config.algorithm import AttackDecayParams
+from repro.control.attack_decay import AttackDecayController
+from repro.errors import ExperimentError
+from repro.experiments import Orchestrator, Scenario, Suite
+from repro.experiments.executor import default_batch, parse_batch
+from repro.metrics.summary import summarize
+from repro.sim.engine import (
+    SimulationSpec,
+    export_shared_trace,
+    run_spec,
+    run_specs_batch,
+)
+from repro.uarch import shared_trace
+from repro.uarch.compiled_trace import _BASE_COLUMNS
+from repro.workloads.catalog import get_benchmark
+
+SCALE = 0.05
+#: Legend-labelled configuration names select the controller variant:
+#: the trailing ``[literal]`` runs the paper's listing verbatim.
+_LEGEND = AttackDecayParams().legend()
+CONFIG_PLAIN = f"attack_decay[{_LEGEND}]"
+CONFIG_LITERAL = f"attack_decay[{_LEGEND}][literal]"
+
+
+def _shm_segments() -> set[str] | None:
+    """Live POSIX shared-memory segment names, or None when unknowable.
+
+    ``psutil`` has no first-class shm API, but its presence confirms a
+    POSIX host where ``/dev/shm`` is authoritative; without either
+    signal (non-POSIX platforms) leak checks are skipped.
+    """
+    try:
+        import psutil  # noqa: F401  - availability probe only
+    except ImportError:
+        pass
+    root = Path("/dev/shm")
+    if not root.is_dir():
+        return None
+    return {entry.name for entry in root.glob("psm_*")}
+
+
+def _summary_dict(result) -> dict:
+    """A run's full observable surface, as plain data."""
+    return dataclasses.asdict(summarize(result))
+
+
+def _spec(benchmark: str, *, seed: int, literal: bool, controller: bool = True,
+          path: str = "auto", compiled: bool = True) -> SimulationSpec:
+    """One closed-loop spec; controllers are built fresh per spec."""
+    ctrl = (
+        AttackDecayController(AttackDecayParams(), literal_listing=literal)
+        if controller
+        else None
+    )
+    return SimulationSpec(
+        benchmark=benchmark,
+        controller=ctrl,
+        scale=SCALE,
+        seed=seed,
+        path=path,
+        compiled=compiled,
+    )
+
+
+def _fuzz_matrix() -> list[dict]:
+    """A seeded spec matrix: catalog + derived stressors, both
+    ``literal_listing`` variants, mixed seeds and plain-MCD runs."""
+    rng = random.Random(0x5EED)
+    benchmarks = ["adpcm", "gsm", "phase_thrash", "adv_sawtooth"]
+    matrix = []
+    for index in range(10):
+        matrix.append(
+            {
+                "benchmark": benchmarks[index % len(benchmarks)],
+                "seed": rng.randint(1, 5),
+                "literal": rng.random() < 0.5,
+                "controller": index != 7,  # one uncontrolled MCD run
+            }
+        )
+    # Guarantee both controller variants appear regardless of the draw.
+    matrix[0]["literal"] = False
+    matrix[1]["literal"] = True
+    return matrix
+
+
+# ---------------------------------------------------------------------------
+# Engine-level differential fuzz
+# ---------------------------------------------------------------------------
+
+
+class TestBatchedEngineDifferential:
+    """run_specs_batch == [run_spec(...)] at every batch size and path."""
+
+    @pytest.fixture(scope="class")
+    def reference(self):
+        return [
+            _summary_dict(run_spec(_spec(**case))) for case in _fuzz_matrix()
+        ]
+
+    def test_batch_sizes_match_per_run(self, reference):
+        cases = _fuzz_matrix()
+        compared = 0
+        for batch in (1, 3, len(cases)):
+            summaries = []
+            for start in range(0, len(cases), batch):
+                cell = [_spec(**case) for case in cases[start : start + batch]]
+                summaries.extend(
+                    _summary_dict(result) for result in run_specs_batch(cell)
+                )
+            assert summaries == reference, f"batch size {batch} diverged"
+            compared += len(summaries)
+        # The harness promises a >= 30-case differential; hold it to that.
+        assert compared >= 30
+
+    def test_python_and_generator_paths_match(self, reference):
+        cases = _fuzz_matrix()
+        for index in (0, 1, 7):  # plain, literal, uncontrolled
+            python = _summary_dict(run_spec(_spec(**cases[index], path="python")))
+            generator = _summary_dict(
+                run_spec(_spec(**cases[index], path="generator", compiled=False))
+            )
+            assert python == reference[index]
+            assert generator == reference[index]
+
+    def test_non_batchable_specs_fall_back(self):
+        # Generator-path specs cannot take the native batch; the vector
+        # must silently run per-spec with identical results.
+        cell = [
+            _spec(benchmark="adpcm", seed=1, literal=False, path="generator",
+                  compiled=False),
+            _spec(benchmark="adpcm", seed=2, literal=False, path="generator",
+                  compiled=False),
+        ]
+        expected = [
+            _summary_dict(run_spec(_spec(benchmark="adpcm", seed=seed,
+                                         literal=False, path="generator",
+                                         compiled=False)))
+            for seed in (1, 2)
+        ]
+        assert [_summary_dict(r) for r in run_specs_batch(cell)] == expected
+
+
+# ---------------------------------------------------------------------------
+# Orchestrator-level differential
+# ---------------------------------------------------------------------------
+
+
+class TestBatchedBackends:
+    """Every backend x batch size reproduces the serial per-run sweep."""
+
+    @pytest.fixture(scope="class")
+    def suite(self):
+        return Suite(
+            benchmarks=["adpcm", "phase_thrash"],
+            configurations=[CONFIG_PLAIN, CONFIG_LITERAL],
+            seeds=[1, 2],
+            scale=SCALE,
+            name="batched-differential",
+        )
+
+    @pytest.fixture(scope="class")
+    def serial_reference(self, suite, tmp_path_factory):
+        cache_dir = tmp_path_factory.mktemp("serial-ref")
+        results = Orchestrator(
+            workers=1, backend="serial", batch=1,
+            cache_dir=cache_dir, use_cache=False,
+        ).run(suite)
+        assert not results.errors, [o.error for o in results.errors]
+        return results.to_dict()
+
+    @pytest.mark.parametrize(
+        "backend,workers,batch,start_method",
+        [
+            ("serial", 1, 3, None),
+            ("serial", 1, 8, None),
+            ("thread", 2, 3, None),
+            ("thread", 2, 8, None),
+            ("process", 2, 1, None),
+            ("process", 2, 3, None),
+            ("process", 2, 99, None),  # batch > matrix clamps, still one cell set
+            ("process", 2, 8, "spawn"),
+        ],
+    )
+    def test_backend_batch_matches_serial(
+        self, suite, serial_reference, backend, workers, batch, start_method,
+        tmp_path,
+    ):
+        results = Orchestrator(
+            workers=workers, backend=backend, batch=batch,
+            start_method=start_method, cache_dir=tmp_path, use_cache=False,
+        ).run(suite)
+        assert not results.errors, [o.error for o in results.errors]
+        assert results.to_dict() == serial_reference
+
+    def test_batch_cell_isolates_failures(self, suite, serial_reference, tmp_path):
+        from repro.experiments import CONFIGURATIONS, register_configuration
+
+        @register_configuration("batch_explode")
+        def exploding(ctx, benchmark, scale, seed):
+            """Test entry that always fails."""
+            raise RuntimeError("injected batch failure")
+
+        scenarios = list(suite.expand())
+        poison = Scenario("adpcm", "batch_explode", scale=SCALE)
+        try:
+            results = Orchestrator(
+                workers=2, backend="process", batch=3,
+                cache_dir=tmp_path, use_cache=False,
+            ).run([*scenarios, poison])
+        finally:
+            CONFIGURATIONS.unregister("batch_explode")
+        assert len(results) == len(scenarios) + 1
+        assert len(results.errors) == 1
+        assert "injected batch failure" in results.errors[0].error
+        healthy = results.to_dict()
+        healthy["outcomes"] = healthy["outcomes"][:-1]
+        reference = dict(serial_reference)
+        assert healthy["outcomes"] == reference["outcomes"]
+
+
+# ---------------------------------------------------------------------------
+# Batch resolution and chunking
+# ---------------------------------------------------------------------------
+
+
+class TestBatchResolution:
+    def test_parse_batch(self):
+        assert parse_batch(None) is None
+        assert parse_batch("auto") is None
+        assert parse_batch(4) == 4
+        assert parse_batch("4") == 4
+        with pytest.raises(ExperimentError, match="malformed batch"):
+            parse_batch("bogus")
+        with pytest.raises(ExperimentError, match=">= 1"):
+            parse_batch(0)
+        with pytest.raises(ExperimentError, match="REPRO_BATCH"):
+            parse_batch("-2", "REPRO_BATCH")
+
+    def test_default_batch_env(self, monkeypatch):
+        monkeypatch.delenv("REPRO_BATCH", raising=False)
+        assert default_batch() is None
+        monkeypatch.setenv("REPRO_BATCH", "auto")
+        assert default_batch() is None
+        monkeypatch.setenv("REPRO_BATCH", "6")
+        assert default_batch() == 6
+        monkeypatch.setenv("REPRO_BATCH", "zero")
+        with pytest.raises(ExperimentError, match="REPRO_BATCH"):
+            default_batch()
+
+    def test_resolve_batch_explicit_applies_everywhere(self):
+        orch = Orchestrator(workers=1, batch=5)
+        # A 1-worker orchestrator resolves to the serial backend, and
+        # an explicit batch still applies there, clamped to the matrix.
+        assert orch._resolve_backend(total=3) == "serial"
+        assert orch._resolve_batch(3, "serial") == 3
+        assert orch._resolve_batch(12, "serial") == 5
+        assert orch._resolve_batch(0, "serial") == 1
+
+    def test_resolve_batch_auto_per_backend(self):
+        orch = Orchestrator(workers=4, batch="auto")
+        assert orch._resolve_batch(12, "serial") == 1
+        assert orch._resolve_batch(12, "thread") == 3
+        assert orch._resolve_batch(12, "process") == 3
+        assert orch._resolve_batch(2, "process") == 1
+        # Huge matrices keep load-balancing granularity via the cap.
+        assert orch._resolve_batch(100_000, "process") == 32
+
+    def test_batch_cells_group_by_trace_identity(self):
+        scenarios = [
+            Scenario("adpcm", "sync", seed=1, scale=0.05),
+            Scenario("gsm", "sync", seed=1, scale=0.05),
+            Scenario("adpcm", "sync", seed=2, scale=0.05),
+            Scenario("adpcm", "sync", seed=3, scale=0.1),
+            Scenario("gsm", "sync", seed=2, scale=0.05),
+            Scenario("adpcm", "sync", seed=4, scale=0.05),
+        ]
+        cells = Orchestrator._batch_cells(scenarios, 2)
+        # Every index exactly once, matrix order within a cell.
+        assert sorted(i for cell in cells for i in cell) == list(range(6))
+        for cell in cells:
+            assert len(cell) <= 2
+            assert cell == sorted(cell)
+            identities = {
+                (scenarios[i].benchmark, scenarios[i].scale) for i in cell
+            }
+            assert len(identities) == 1, "cell mixes trace identities"
+        # (adpcm, 0.05) has three members: two cells, one of them short.
+        adpcm_cells = [
+            cell for cell in cells
+            if scenarios[cell[0]].benchmark == "adpcm"
+            and scenarios[cell[0]].scale == 0.05
+        ]
+        assert [len(cell) for cell in adpcm_cells] == [2, 1]
+
+    def test_cli_rejects_malformed_batch(self, monkeypatch):
+        from repro.cli import main
+
+        args = ["sweep", "--benchmarks", "adpcm", "--configurations", "sync",
+                "--scale", "0.05", "--no-cache"]
+        assert main([*args, "--batch", "bogus"]) == 2
+        assert main([*args, "--batch", "0"]) == 2
+        monkeypatch.setenv("REPRO_BATCH", "nope")
+        assert main(args) == 2
+
+    def test_orchestrator_rejects_malformed_batch(self):
+        with pytest.raises(ExperimentError, match="malformed batch"):
+            Orchestrator(batch="many")
+
+
+# ---------------------------------------------------------------------------
+# Shared-memory trace lifecycle
+# ---------------------------------------------------------------------------
+
+
+class TestSharedTraceSegments:
+    def teardown_method(self):
+        shared_trace.detach_all()
+        shared_trace.unlink_exported()
+
+    def test_round_trip_and_read_only_views(self):
+        descriptor = export_shared_trace(get_benchmark("adpcm"), scale=SCALE)
+        assert set(descriptor) == {"key", "name", "layout"}
+        assert [entry[0] for entry in descriptor["layout"]] == list(_BASE_COLUMNS)
+
+        owned = shared_trace.shared_columns(descriptor["key"])
+        assert owned is not None
+        segment = shared_trace.SharedTraceSegment.attach(descriptor)
+        try:
+            for owner_col, attached_col in zip(owned, segment.columns()):
+                assert not attached_col.flags.writeable
+                assert not owner_col.flags.writeable
+                assert attached_col.tolist() == owner_col.tolist()
+        finally:
+            segment.close()
+
+    def test_export_is_idempotent_and_unlink_forgets(self):
+        first = export_shared_trace(get_benchmark("adpcm"), scale=SCALE)
+        second = export_shared_trace(get_benchmark("adpcm"), scale=SCALE)
+        assert first["name"] == second["name"]
+        key = first["key"]
+        assert shared_trace.shared_columns(key) is not None
+        shared_trace.unlink_exported([key])
+        assert shared_trace.shared_columns(key) is None
+        # Idempotent: unlinking an already-gone key must not raise.
+        shared_trace.unlink_exported([key])
+
+    def test_attach_failure_is_logged_and_non_fatal(self, caplog):
+        bogus = {"key": "no-such-trace", "name": "psm_repro_gone", "layout": []}
+        with caplog.at_level(logging.WARNING, logger="repro.uarch.shared_trace"):
+            attached = shared_trace.install_shared_traces([bogus])
+        assert attached == 0
+        assert shared_trace.shared_columns("no-such-trace") is None
+        assert any(
+            "falling back to local build" in record.message
+            for record in caplog.records
+        )
+
+    def test_install_skips_keys_the_owner_already_serves(self):
+        descriptor = export_shared_trace(get_benchmark("adpcm"), scale=SCALE)
+        # A forked worker inherits the export; attaching again would
+        # only duplicate the mapping.
+        assert shared_trace.install_shared_traces([descriptor]) == 0
+
+    def test_shared_columns_build_byte_identical_traces(self):
+        from repro.sim.engine import compiled_trace_for
+
+        bench = get_benchmark("adpcm")
+        local = compiled_trace_for(bench, scale=SCALE)
+        descriptor = export_shared_trace(bench, scale=SCALE)
+        shared = shared_trace.shared_columns(descriptor["key"])
+        assert shared is not None
+        local_columns = (
+            local.kinds, local.src1, local.src2, local.pcs,
+            local.addrs, local.taken, local.targets,
+        )
+        for shared_col, local_col in zip(shared, local_columns):
+            assert shared_col.tolist() == list(local_col)
+
+
+class TestSweepLeavesNoSegments:
+    @pytest.fixture(scope="class")
+    def suite(self):
+        return Suite(
+            benchmarks=["adpcm", "gsm"],
+            configurations=[CONFIG_PLAIN],
+            seeds=[1, 2],
+            scale=SCALE,
+            name="leak-check",
+        )
+
+    @pytest.mark.parametrize("start_method", [None, "spawn"])
+    def test_process_sweep_unlinks_segments(self, suite, start_method, tmp_path):
+        before = _shm_segments()
+        if before is None:
+            pytest.skip("no observable POSIX shared-memory namespace")
+        results = Orchestrator(
+            workers=2, backend="process", batch=2,
+            start_method=start_method, cache_dir=tmp_path, use_cache=False,
+        ).run(suite)
+        assert not results.errors, [o.error for o in results.errors]
+        assert _shm_segments() == before
+
+    def test_segments_unlinked_after_worker_failure(self, suite, tmp_path):
+        from repro.experiments import CONFIGURATIONS, register_configuration
+
+        before = _shm_segments()
+        if before is None:
+            pytest.skip("no observable POSIX shared-memory namespace")
+
+        @register_configuration("leak_explode")
+        def exploding(ctx, benchmark, scale, seed):
+            """Test entry that always fails."""
+            raise RuntimeError("injected leak-check failure")
+
+        scenarios = [
+            *suite.expand(),
+            Scenario("adpcm", "leak_explode", scale=SCALE),
+        ]
+        try:
+            results = Orchestrator(
+                workers=2, backend="process", batch=2,
+                cache_dir=tmp_path, use_cache=False,
+            ).run(scenarios)
+        finally:
+            CONFIGURATIONS.unregister("leak_explode")
+        assert len(results.errors) == 1
+        assert _shm_segments() == before

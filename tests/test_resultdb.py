@@ -232,15 +232,50 @@ class TestQuery:
 
 # ----------------------------------------------------------------------- gate
 class TestGate:
-    def test_bootstrap_covers_the_three_ci_floors(self):
+    def test_bootstrap_covers_the_ci_floors(self):
         floors = {(g.bench, g.metric): g.floor for g in BOOTSTRAP_BASELINES}
         assert floors == {
             ("bench_engine_hotpath", "speedup"): 3.0,
             ("bench_control_loop", "native_vs_python"): 3.0,
             ("bench_sweep_throughput", "thread_vs_process"): 1.5,
+            ("bench_sweep_throughput", "process_vs_serial"): 1.0,
         }
         assert gated_metrics("bench_control_loop") == ["native_vs_python"]
+        assert gated_metrics("bench_sweep_throughput") == [
+            "thread_vs_process",
+            "process_vs_serial",
+        ]
         assert gated_metrics("bench_figure2_lsq") == []
+        # The process-vs-serial floor only means something on multicore
+        # hosts; the run records its core count for the gate to check.
+        requirements = {
+            (g.bench, g.metric): g.requires
+            for g in BOOTSTRAP_BASELINES
+            if g.requires is not None
+        }
+        assert requirements == {
+            ("bench_sweep_throughput", "process_vs_serial"): ("cores", 2),
+        }
+
+    def test_bootstrap_floor_precondition(self, db):
+        # A single-core run skips the conditional floor (a pool can
+        # only approach serial from below there) instead of failing it.
+        db.record(
+            "bench_sweep_throughput",
+            {"thread_vs_process": 1.6, "process_vs_serial": 0.5, "cores": 1},
+        )
+        results = {r.metric: r for r in check_bench(db.runs(), "bench_sweep_throughput")}
+        assert results["process_vs_serial"].passed
+        assert results["process_vs_serial"].source == "unchecked"
+        assert results["thread_vs_process"].passed
+        # The same numbers measured on four cores bind the floor.
+        db.record(
+            "bench_sweep_throughput",
+            {"thread_vs_process": 1.6, "process_vs_serial": 0.5, "cores": 4},
+        )
+        results = {r.metric: r for r in check_bench(db.runs(), "bench_sweep_throughput")}
+        assert not results["process_vs_serial"].passed
+        assert "bootstrap floor" in results["process_vs_serial"].message
 
     def test_empty_history_gates_on_bootstrap(self, db):
         record_speedup(db, 3.4)
