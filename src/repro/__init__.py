@@ -37,6 +37,7 @@ complete scenarios and ``benchmarks/`` for the harness regenerating
 every table and figure of the paper.
 """
 
+from repro.campaigns import CampaignJournal, CampaignRunner, CampaignSpec
 from repro.config import (
     AttackDecayParams,
     Domain,
@@ -83,6 +84,9 @@ __all__ = [
     "CLOCKING_MODES",
     "CONFIGURATIONS",
     "CONTROLLERS",
+    "CampaignJournal",
+    "CampaignRunner",
+    "CampaignSpec",
     "Comparison",
     "CoreOptions",
     "CoreResult",

@@ -1,0 +1,54 @@
+"""Declarative, interrupt-safe measurement campaigns.
+
+A *campaign* is a sweep you can walk away from: a TOML file names the
+scenario matrix, backend and output policy (:mod:`~repro.campaigns
+.spec`); an append-only checkpoint journal records every completed
+cell the moment it finishes (:mod:`~repro.campaigns.journal`); and the
+runner (:mod:`~repro.campaigns.runner`) restores, re-queues and
+executes so that ``repro campaign resume`` after *any* interruption —
+Ctrl-C, crash, power loss — converges on the same
+:class:`~repro.experiments.results.ResultSet` as an uninterrupted run.
+
+Quick start::
+
+    from repro.campaigns import CampaignRunner, CampaignSpec
+
+    spec = CampaignSpec.load("nightly.toml")
+    report = CampaignRunner(spec).run()
+    print(report.summary_line())
+
+or, from the command line::
+
+    python -m repro campaign run nightly.toml --dry-run
+    python -m repro campaign run nightly.toml
+    python -m repro campaign status nightly.toml
+    python -m repro campaign resume nightly.toml
+"""
+
+from repro.campaigns.journal import (
+    JOURNAL_SCHEMA_VERSION,
+    CampaignJournal,
+    JournalState,
+)
+from repro.campaigns.runner import (
+    DONE,
+    PENDING,
+    QUARANTINED,
+    CampaignReport,
+    CampaignRunner,
+    CellPlan,
+)
+from repro.campaigns.spec import CampaignSpec
+
+__all__ = [
+    "DONE",
+    "JOURNAL_SCHEMA_VERSION",
+    "PENDING",
+    "QUARANTINED",
+    "CampaignJournal",
+    "CampaignReport",
+    "CampaignRunner",
+    "CampaignSpec",
+    "CellPlan",
+    "JournalState",
+]

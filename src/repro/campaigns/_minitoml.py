@@ -1,0 +1,212 @@
+"""A dependency-free TOML-subset reader for pre-3.11 Pythons.
+
+:mod:`repro.campaigns` reads campaign files with the standard library's
+:mod:`tomllib`, which only exists from Python 3.11.  The repository
+supports 3.10 and bakes in no third-party TOML parser, so this module
+implements ``loads`` for exactly the subset the campaign format
+documents — tables, arrays of tables, bare/quoted keys, basic strings,
+integers, floats, booleans, and (possibly multi-line) arrays, with
+``#`` comments.  On 3.11+ the real :mod:`tomllib` is used and this
+module only serves its own unit tests.
+
+Deliberately *not* supported (campaign files do not need them):
+datetimes, literal/multi-line strings, inline tables, dotted keys in
+assignments, exponent-free special floats (``inf``/``nan``).
+Anything outside the subset raises :class:`TOMLDecodeError` with the
+offending line number, so a fancy TOML file fails loudly instead of
+parsing wrong.
+
+>>> loads('[campaign]\\nname = "nightly"\\nseeds = [1, 2]')
+{'campaign': {'name': 'nightly', 'seeds': [1, 2]}}
+"""
+
+from __future__ import annotations
+
+
+class TOMLDecodeError(ValueError):
+    """The document is outside the supported TOML subset or malformed."""
+
+
+class _Parser:
+    def __init__(self, text: str) -> None:
+        self.text = text
+        self.pos = 0
+
+    # --- low-level cursor helpers ------------------------------------------
+    def _peek(self) -> str:
+        return self.text[self.pos] if self.pos < len(self.text) else ""
+
+    def _line(self) -> int:
+        return self.text.count("\n", 0, self.pos) + 1
+
+    def _error(self, message: str) -> TOMLDecodeError:
+        return TOMLDecodeError(f"line {self._line()}: {message}")
+
+    def _skip_space(self, newlines: bool) -> None:
+        """Advance past whitespace and comments.
+
+        With ``newlines`` (between statements, inside arrays) comments
+        and line breaks are skipped too; without it only same-line
+        blanks are, so statement parsing can see its line ending.
+        """
+        while self.pos < len(self.text):
+            ch = self.text[self.pos]
+            if ch in " \t":
+                self.pos += 1
+            elif newlines and ch in "\r\n":
+                self.pos += 1
+            elif ch == "#":
+                while self.pos < len(self.text) and self.text[self.pos] != "\n":
+                    self.pos += 1
+                if not newlines:
+                    return
+            else:
+                return
+
+    def _expect_line_end(self) -> None:
+        self._skip_space(newlines=False)
+        if self._peek() not in ("", "\r", "\n"):
+            raise self._error(
+                f"unexpected trailing text {self.text[self.pos:].splitlines()[0]!r}"
+            )
+
+    # --- grammar ------------------------------------------------------------
+    def parse(self) -> dict:
+        root: dict = {}
+        current = root
+        while True:
+            self._skip_space(newlines=True)
+            if self.pos >= len(self.text):
+                return root
+            if self._peek() == "[":
+                current = self._parse_table_header(root)
+            else:
+                key = self._parse_key()
+                self._skip_space(newlines=False)
+                if self._peek() != "=":
+                    raise self._error(f"expected '=' after key {key!r}")
+                self.pos += 1
+                self._skip_space(newlines=False)
+                if key in current:
+                    raise self._error(f"duplicate key {key!r}")
+                current[key] = self._parse_value()
+                self._expect_line_end()
+
+    def _parse_table_header(self, root: dict) -> dict:
+        array_of_tables = self.text.startswith("[[", self.pos)
+        self.pos += 2 if array_of_tables else 1
+        parts = [self._parse_key()]
+        self._skip_space(newlines=False)
+        while self._peek() == ".":
+            self.pos += 1
+            parts.append(self._parse_key())
+            self._skip_space(newlines=False)
+        closing = "]]" if array_of_tables else "]"
+        if not self.text.startswith(closing, self.pos):
+            raise self._error(f"expected {closing!r} closing the table header")
+        self.pos += len(closing)
+        self._expect_line_end()
+        node = root
+        for part in parts[:-1]:
+            node = node.setdefault(part, {})
+            if isinstance(node, list):
+                node = node[-1]
+            if not isinstance(node, dict):
+                raise self._error(f"{part!r} is not a table")
+        leaf = parts[-1]
+        if array_of_tables:
+            entries = node.setdefault(leaf, [])
+            if not isinstance(entries, list):
+                raise self._error(f"{leaf!r} is not an array of tables")
+            entries.append({})
+            return entries[-1]
+        table = node.setdefault(leaf, {})
+        if not isinstance(table, dict):
+            raise self._error(f"{leaf!r} is not a table")
+        return table
+
+    def _parse_key(self) -> str:
+        self._skip_space(newlines=False)
+        if self._peek() == '"':
+            return self._parse_string()
+        start = self.pos
+        while self._peek() and (self._peek().isalnum() or self._peek() in "-_"):
+            self.pos += 1
+        if self.pos == start:
+            raise self._error(f"expected a key, found {self._peek()!r}")
+        return self.text[start : self.pos]
+
+    def _parse_value(self):
+        ch = self._peek()
+        if ch == '"':
+            return self._parse_string()
+        if ch == "[":
+            return self._parse_array()
+        start = self.pos
+        while self._peek() and self._peek() not in " \t\r\n#,]":
+            self.pos += 1
+        token = self.text[start : self.pos]
+        if token == "true":
+            return True
+        if token == "false":
+            return False
+        try:
+            # TOML allows readability underscores in numbers.
+            plain = token.replace("_", "")
+            if any(c in plain for c in ".eE") and not plain.startswith("0x"):
+                return float(plain)
+            return int(plain, 0)
+        except ValueError:
+            raise self._error(
+                f"unsupported value {token!r} (subset: strings, numbers, "
+                "booleans, arrays)"
+            ) from None
+
+    def _parse_string(self) -> str:
+        assert self._peek() == '"'
+        self.pos += 1
+        out = []
+        escapes = {'"': '"', "\\": "\\", "n": "\n", "t": "\t", "r": "\r"}
+        while True:
+            ch = self._peek()
+            if ch in ("", "\n"):
+                raise self._error("unterminated string")
+            self.pos += 1
+            if ch == '"':
+                return "".join(out)
+            if ch == "\\":
+                escape = self._peek()
+                if escape not in escapes:
+                    raise self._error(f"unsupported escape \\{escape}")
+                self.pos += 1
+                out.append(escapes[escape])
+            else:
+                out.append(ch)
+
+    def _parse_array(self) -> list:
+        assert self._peek() == "["
+        self.pos += 1
+        items = []
+        while True:
+            self._skip_space(newlines=True)
+            if self._peek() == "]":
+                self.pos += 1
+                return items
+            if self._peek() == "":
+                raise self._error("unterminated array")
+            items.append(self._parse_value())
+            self._skip_space(newlines=True)
+            if self._peek() == ",":
+                self.pos += 1
+            elif self._peek() != "]":
+                raise self._error("expected ',' or ']' in array")
+
+
+def loads(text: str) -> dict:
+    """Parse a TOML-subset document into nested dicts/lists.
+
+    Raises :class:`TOMLDecodeError` (a ``ValueError``, like
+    ``tomllib.TOMLDecodeError``) on anything malformed or outside the
+    subset.
+    """
+    return _Parser(text).parse()

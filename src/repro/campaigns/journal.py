@@ -1,0 +1,203 @@
+"""The append-only checkpoint journal of a campaign.
+
+One file, ``journal.jsonl``, inside the campaign directory: a header
+line naming the campaign (and the :attr:`~repro.campaigns.spec
+.CampaignSpec.spec_hash` of what it computes), then one JSON line per
+*completed* matrix cell — success or quarantined failure — appended
+durably (:func:`repro.ioutil.append_line` fsyncs each record) the
+moment the orchestrator announces the outcome.  The journal is the
+single source of truth for ``status`` and ``resume``:
+
+* a cell whose latest entry is ``ok`` is **done** — resume restores
+  its full :class:`~repro.experiments.results.RunOutcome` from the
+  journal instead of re-running it;
+* a cell whose latest entry failed is **quarantined** — it stopped
+  this campaign run from retrying it, and resume re-queues it;
+* a cell with no entry is **pending** — it was in flight (or never
+  reached) when the campaign stopped, and re-executing it is
+  idempotent because results are content-addressed in the cache.
+
+Crash tolerance mirrors every other store in the repository: an
+unparsable *trailing* line is a half-written record from a dying
+process and is silently treated as "not yet journalled"; an unparsable
+*interior* line is logged and skipped; a journal whose header does not
+match the campaign file refuses to resume (the file changed — mixing
+result sets would be silent corruption).
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.errors import CampaignError
+from repro.experiments.results import RunOutcome
+from repro.ioutil import append_line
+from repro.resultdb.store import utc_now
+from repro.version import __version__
+
+logger = logging.getLogger(__name__)
+
+#: Bump when the journal line layout changes incompatibly.
+JOURNAL_SCHEMA_VERSION = 1
+
+
+@dataclass
+class JournalState:
+    """What a journal says about a campaign's progress."""
+
+    header: dict | None = None
+    #: cell index -> restored outcome of the latest ``ok`` entry.
+    completed: dict[int, RunOutcome] = field(default_factory=dict)
+    #: cell index -> restored outcome of cells whose latest entry failed.
+    quarantined: dict[int, RunOutcome] = field(default_factory=dict)
+
+    @property
+    def entries(self) -> int:
+        return len(self.completed) + len(self.quarantined)
+
+
+class CampaignJournal:
+    """Reader/writer for one campaign's ``journal.jsonl``."""
+
+    def __init__(self, path: Path | str) -> None:
+        self.path = Path(path)
+
+    def exists(self) -> bool:
+        """Whether any progress has ever been journalled."""
+        return self.path.is_file()
+
+    def delete(self) -> None:
+        """Forget all progress (the ``run --force`` restart path)."""
+        try:
+            self.path.unlink()
+        except FileNotFoundError:
+            pass
+
+    # --- writing -----------------------------------------------------------
+    def begin(self, name: str, spec_hash: str, total: int) -> None:
+        """Write the header line if this journal is new."""
+        if self.exists():
+            return
+        header = {
+            "journal": JOURNAL_SCHEMA_VERSION,
+            "campaign": name,
+            "spec_hash": spec_hash,
+            "total": total,
+            "version": __version__,
+            "utc": utc_now(),
+        }
+        append_line(self.path, json.dumps(header, sort_keys=True))
+
+    def record(self, index: int, outcome: RunOutcome) -> None:
+        """Durably append one completed cell (success or failure)."""
+        entry = {
+            "cell": index,
+            "run_id": outcome.scenario.run_id,
+            "ok": outcome.ok,
+            "outcome": outcome.to_dict(),
+            "utc": utc_now(),
+        }
+        append_line(self.path, json.dumps(entry, sort_keys=True))
+
+    # --- reading -----------------------------------------------------------
+    def load(self) -> JournalState:
+        """Parse the journal into per-cell progress.
+
+        Later entries for a cell supersede earlier ones (a resumed run
+        re-journals the cells it re-executes), so replaying the file
+        start to finish yields the campaign's current state.
+        """
+        state = JournalState()
+        if not self.exists():
+            return state
+        try:
+            lines = self.path.read_text().splitlines()
+        except OSError as exc:
+            raise CampaignError(f"cannot read journal {self.path}: {exc}") from None
+        last = len(lines) - 1
+        for lineno, line in enumerate(lines):
+            if not line.strip():
+                continue
+            try:
+                data = json.loads(line)
+                if not isinstance(data, dict):
+                    raise ValueError(f"line holds {type(data).__name__}")
+            except ValueError as exc:
+                if lineno == last:
+                    # A crash mid-append leaves a truncated final line:
+                    # that cell was never durably journalled, so it is
+                    # simply still pending.
+                    logger.warning(
+                        "journal %s: dropping half-written final line", self.path
+                    )
+                else:
+                    logger.warning(
+                        "journal %s line %d unreadable (%s); skipping",
+                        self.path, lineno + 1, exc,
+                    )
+                continue
+            if "journal" in data and state.header is None:
+                schema = data.get("journal")
+                if not isinstance(schema, int) or schema > JOURNAL_SCHEMA_VERSION:
+                    raise CampaignError(
+                        f"journal {self.path} has schema {schema!r}, newer than "
+                        f"supported ({JOURNAL_SCHEMA_VERSION}); upgrade repro"
+                    )
+                state.header = data
+                continue
+            index = data.get("cell")
+            try:
+                outcome = RunOutcome.from_dict(data["outcome"])
+            except (KeyError, TypeError) as exc:
+                logger.warning(
+                    "journal %s line %d has a malformed outcome (%s); skipping",
+                    self.path, lineno + 1, exc,
+                )
+                continue
+            if not isinstance(index, int) or index < 0:
+                logger.warning(
+                    "journal %s line %d has a bad cell index %r; skipping",
+                    self.path, lineno + 1, index,
+                )
+                continue
+            if outcome.ok:
+                state.completed[index] = outcome
+                state.quarantined.pop(index, None)
+            else:
+                state.quarantined[index] = outcome
+                state.completed.pop(index, None)
+        return state
+
+    def validate(self, state: JournalState, spec_hash: str, total: int) -> None:
+        """Refuse to mix a journal with a different campaign identity."""
+        if state.header is None:
+            if state.entries:
+                raise CampaignError(
+                    f"journal {self.path} has entries but no header; it is "
+                    "not a repro campaign journal"
+                )
+            return
+        recorded = state.header.get("spec_hash")
+        if recorded != spec_hash:
+            raise CampaignError(
+                f"journal {self.path} was written for a different campaign "
+                f"(spec hash {recorded} != {spec_hash}); the campaign file "
+                "or REPRO_SCALE changed — restart with 'campaign run --force' "
+                "to discard the old progress"
+            )
+        recorded_total = state.header.get("total")
+        if recorded_total != total:
+            raise CampaignError(
+                f"journal {self.path} records {recorded_total} cells but the "
+                f"matrix expands to {total}; restart with 'campaign run "
+                "--force'"
+            )
+        out_of_range = [i for i in (*state.completed, *state.quarantined) if i >= total]
+        if out_of_range:
+            raise CampaignError(
+                f"journal {self.path} has cell indices {sorted(out_of_range)} "
+                f"outside the {total}-cell matrix"
+            )

@@ -45,3 +45,7 @@ class ExperimentError(ReproError):
 
 class ResultDBError(ReproError):
     """A result-database operation failed (bad record, empty trajectory, ...)."""
+
+
+class CampaignError(ReproError):
+    """A campaign file or its checkpoint journal is unusable as given."""

@@ -18,7 +18,7 @@ from pathlib import Path
 
 from repro.concurrency import LockedLRU
 from repro.errors import ExperimentError
-from repro.ioutil import atomic_write
+from repro.ioutil import atomic_write, sweep_stale_tmp
 
 #: Bump when a change invalidates previously cached results.  The
 #: compiled-trace store joins this version into its own keys (see
@@ -68,6 +68,10 @@ class CacheStore:
         )
         self.enabled = enabled
         self._memory = LockedLRU(memory_entries)
+        if enabled:
+            # Crashed writers leave ``*.tmp`` siblings behind; reap the
+            # stale ones (age-gated, so live writers are untouched).
+            sweep_stale_tmp(self.directory)
 
     @property
     def memory_entries(self) -> int:

@@ -54,6 +54,18 @@ columns in POSIX shared memory before the pool starts
 pages instead of re-reading ``.npz`` stores or regenerating workloads.
 Segments are unlinked in a ``finally`` when the sweep ends, with an
 ``atexit`` guard covering crashed sweeps.
+
+Cancellation
+------------
+Interruption (Ctrl-C, or an ``on_result`` hook raising) is a
+first-class event, not a crash: the thread backend cancels every
+queued future (running ones finish their current simulation), the
+process backend terminates and joins its pool, and the shared-memory
+segments are unlinked synchronously before the exception propagates.
+Outcomes already announced through ``on_result`` stay announced — a
+checkpointing caller (:mod:`repro.campaigns`) therefore loses at most
+the in-flight runs, which the content-addressed cache makes idempotent
+to re-execute.
 """
 
 from __future__ import annotations
@@ -262,13 +274,26 @@ class Orchestrator:
             raise ExperimentError(
                 f"unknown backend {backend!r}; expected one of {', '.join(BACKENDS)}"
             )
-        self.backend = backend
+        # Environment defaults are resolved (and validated) *here*: a
+        # bad REPRO_BACKEND/REPRO_START_METHOD/REPRO_BATCH must fail at
+        # construction, before any work starts — not as an
+        # ExperimentError surfacing from deep inside run().
+        self.backend = backend if backend is not None else default_backend()
         self.start_method = start_method
+        requested_method = start_method or os.environ.get("REPRO_START_METHOD")
+        if requested_method:
+            available = multiprocessing.get_all_start_methods()
+            if requested_method not in available:
+                source = "start method" if start_method else "REPRO_START_METHOD"
+                raise ExperimentError(
+                    f"unsupported {source} {requested_method!r}; "
+                    f"available: {', '.join(available)}"
+                )
         self.batch = default_batch() if batch is None else parse_batch(batch)
 
     def _resolve_backend(self, total: int) -> str:
         """The concrete backend for a ``total``-scenario matrix."""
-        requested = self.backend or default_backend()
+        requested = self.backend
         if requested == "serial" or self.workers <= 1 or total <= 1:
             return "serial"
         if requested == "auto":
@@ -343,12 +368,23 @@ class Orchestrator:
             label, total, self.workers, backend, batch,
         )
         started = time.perf_counter()
-        if backend == "serial":
-            outcomes = self._run_serial(scenarios, batch)
-        elif backend == "thread":
-            outcomes = self._run_threaded(scenarios, batch)
-        else:
-            outcomes = self._run_parallel(scenarios, batch)
+        try:
+            if backend == "serial":
+                outcomes = self._run_serial(scenarios, batch)
+            elif backend == "thread":
+                outcomes = self._run_threaded(scenarios, batch)
+            else:
+                outcomes = self._run_parallel(scenarios, batch)
+        except KeyboardInterrupt:
+            # Workers are already cancelled/terminated by the backend
+            # and the shared segments unlinked; announce the
+            # interruption and let the caller decide the exit path
+            # (the CLI exits 130, campaigns checkpoint and re-raise).
+            logger.warning(
+                "%s: interrupted after %.1fs; cancelled remaining runs",
+                label, time.perf_counter() - started,
+            )
+            raise
         elapsed = time.perf_counter() - started
         failures = sum(1 for o in outcomes if not o.ok)
         logger.info(
@@ -411,15 +447,23 @@ class Orchestrator:
                 max_workers=min(self.workers, total),
                 thread_name_prefix="repro-sweep",
             ) as pool:
-                futures = {
-                    pool.submit(ctx.run_isolated, scenario): index
-                    for index, scenario in enumerate(scenarios)
-                }
-                for future in as_completed(futures):
-                    outcome = future.result()
-                    ordered[futures[future]] = outcome
-                    self._announce(outcome, done, total)
-                    done += 1
+                try:
+                    futures = {
+                        pool.submit(ctx.run_isolated, scenario): index
+                        for index, scenario in enumerate(scenarios)
+                    }
+                    for future in as_completed(futures):
+                        outcome = future.result()
+                        ordered[futures[future]] = outcome
+                        self._announce(outcome, done, total)
+                        done += 1
+                except BaseException:
+                    # Ctrl-C (or an on_result hook raising): without
+                    # the explicit cancel, the executor's __exit__
+                    # would run every queued scenario to completion
+                    # before the exception could propagate.
+                    pool.shutdown(wait=True, cancel_futures=True)
+                    raise
             assert all(o is not None for o in ordered)
             return ordered  # type: ignore[return-value]
         cells = self._batch_cells(scenarios, batch)
@@ -427,17 +471,21 @@ class Orchestrator:
             max_workers=min(self.workers, len(cells)),
             thread_name_prefix="repro-sweep",
         ) as pool:
-            futures = {
-                pool.submit(
-                    ctx.run_batch, [scenarios[i] for i in indices]
-                ): indices
-                for indices in cells
-            }
-            for future in as_completed(futures):
-                for index, outcome in zip(futures[future], future.result()):
-                    ordered[index] = outcome
-                    self._announce(outcome, done, total)
-                    done += 1
+            try:
+                futures = {
+                    pool.submit(
+                        ctx.run_batch, [scenarios[i] for i in indices]
+                    ): indices
+                    for indices in cells
+                }
+                for future in as_completed(futures):
+                    for index, outcome in zip(futures[future], future.result()):
+                        ordered[index] = outcome
+                        self._announce(outcome, done, total)
+                        done += 1
+            except BaseException:
+                pool.shutdown(wait=True, cancel_futures=True)
+                raise
         assert all(o is not None for o in ordered)
         return ordered  # type: ignore[return-value]
 
@@ -528,10 +576,20 @@ class Orchestrator:
                     initializer=_init_worker,
                     initargs=(state,),
                 ) as pool:
-                    for index, outcome in pool.imap_unordered(_pool_entry, jobs):
-                        ordered[index] = outcome
-                        self._announce(outcome, done, total)
-                        done += 1
+                    try:
+                        for index, outcome in pool.imap_unordered(
+                            _pool_entry, jobs
+                        ):
+                            ordered[index] = outcome
+                            self._announce(outcome, done, total)
+                            done += 1
+                    except BaseException:
+                        # Ctrl-C: kill in-flight workers now and wait
+                        # for them — never strand a pool behind a
+                        # propagating interrupt.
+                        pool.terminate()
+                        pool.join()
+                        raise
             else:
                 cells = self._batch_cells(scenarios, batch)
                 cell_jobs: Iterable[tuple] = [
@@ -550,13 +608,18 @@ class Orchestrator:
                     initializer=_init_worker,
                     initargs=(state,),
                 ) as pool:
-                    for indices, outcomes in pool.imap_unordered(
-                        _pool_entry_batch, cell_jobs
-                    ):
-                        for index, outcome in zip(indices, outcomes):
-                            ordered[index] = outcome
-                            self._announce(outcome, done, total)
-                            done += 1
+                    try:
+                        for indices, outcomes in pool.imap_unordered(
+                            _pool_entry_batch, cell_jobs
+                        ):
+                            for index, outcome in zip(indices, outcomes):
+                                ordered[index] = outcome
+                                self._announce(outcome, done, total)
+                                done += 1
+                    except BaseException:
+                        pool.terminate()
+                        pool.join()
+                        raise
         finally:
             # Owner-side unlink: segment names vanish now; worker
             # mappings (if any are somehow still alive) survive until

@@ -17,11 +17,15 @@ This module is the single copy of that pattern.
 
 from __future__ import annotations
 
+import logging
 import os
 import tempfile
+import time
 from contextlib import contextmanager
 from pathlib import Path
 from typing import IO, Iterator
+
+logger = logging.getLogger(__name__)
 
 
 @contextmanager
@@ -63,6 +67,93 @@ def atomic_write(path: Path | str, mode: str = "wb") -> Iterator[IO]:
         except OSError:
             pass
         raise
+
+
+def append_line(path: Path | str, line: str) -> None:
+    """Durably append one newline-terminated record to ``path``.
+
+    The journalling sibling of :func:`atomic_write`: where that
+    publishes a whole file at once, this appends a single small record
+    (one journal line) and fsyncs before returning, so a crash
+    immediately after the call can never lose it.  A crash *during*
+    the write can leave a truncated final line — readers of
+    line-oriented journals must treat an unparsable trailing line as
+    "not yet written", which mirrors how ``atomic_write`` readers
+    treat a missing file.  The destination directory is created if
+    missing.
+
+    >>> import tempfile as _tf
+    >>> from pathlib import Path as _P
+    >>> journal = _P(_tf.mkdtemp()) / "journal.jsonl"
+    >>> append_line(journal, '{"cell": 0}')
+    >>> append_line(journal, '{"cell": 1}')
+    >>> journal.read_text().splitlines()
+    ['{"cell": 0}', '{"cell": 1}']
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    if not line.endswith("\n"):
+        line += "\n"
+    with open(path, "a", encoding="utf-8") as handle:
+        handle.write(line)
+        handle.flush()
+        os.fsync(handle.fileno())
+
+
+#: Age below which a ``*.tmp`` file is presumed to belong to a live
+#: writer and left alone (an in-flight :func:`atomic_write` lives
+#: milliseconds; an hour is orders of magnitude past any real write).
+STALE_TMP_AGE_SECONDS = 3600.0
+
+#: Directories already swept by this process — every store constructor
+#: calls :func:`sweep_stale_tmp`, and one scan per directory per
+#: process is enough.
+_SWEPT_DIRS: set[Path] = set()
+
+
+def sweep_stale_tmp(
+    directory: Path | str,
+    max_age_seconds: float = STALE_TMP_AGE_SECONDS,
+    once_per_process: bool = True,
+) -> int:
+    """Best-effort removal of crashed writers' ``*.tmp`` droppings.
+
+    Every :func:`atomic_write` that dies between ``mkstemp`` and
+    ``os.replace`` leaves a ``<name>.<random>.tmp`` sibling behind;
+    harmless individually, they accumulate forever in long-lived cache
+    and database directories.  Stores call this when they open a
+    directory.  The age gate keeps concurrent writers safe: a tmp file
+    younger than ``max_age_seconds`` may belong to a live
+    ``atomic_write`` on another worker and is left untouched.  Returns
+    the number of files removed; every failure (vanished file,
+    permissions, unreadable directory) is non-fatal.
+    """
+    directory = Path(directory)
+    if once_per_process:
+        if directory in _SWEPT_DIRS:
+            return 0
+        _SWEPT_DIRS.add(directory)
+    if not directory.is_dir():
+        return 0
+    cutoff = time.time() - max_age_seconds
+    removed = 0
+    try:
+        candidates = list(directory.glob("*.tmp"))
+    except OSError:  # pragma: no cover - unreadable directory
+        return 0
+    for path in candidates:
+        try:
+            if path.stat().st_mtime >= cutoff:
+                continue
+            path.unlink()
+            removed += 1
+        except OSError:  # a live writer renamed/removed it, or EPERM
+            continue
+    if removed:
+        logger.info(
+            "removed %d stale tmp file(s) from %s", removed, directory
+        )
+    return removed
 
 
 def _fsync_directory(directory: Path) -> None:

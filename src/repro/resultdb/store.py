@@ -34,7 +34,7 @@ from datetime import datetime, timezone
 from pathlib import Path
 
 from repro.errors import ResultDBError
-from repro.ioutil import atomic_write
+from repro.ioutil import atomic_write, sweep_stale_tmp
 from repro.resultdb.provenance import provenance as default_provenance
 
 logger = logging.getLogger(__name__)
@@ -165,6 +165,10 @@ class ResultDB:
 
     def __init__(self, directory: Path | str | None = None) -> None:
         self.directory = Path(directory) if directory is not None else default_db_dir()
+        # Crashed appenders leave ``*.tmp`` siblings beside the run
+        # records; reap the stale ones (age-gated, so a live appender
+        # on another process is untouched).
+        sweep_stale_tmp(self.runs_dir)
 
     @property
     def runs_dir(self) -> Path:

@@ -56,7 +56,7 @@ import numpy as np
 
 from repro.concurrency import LockedLRU
 from repro.errors import TraceError
-from repro.ioutil import atomic_write
+from repro.ioutil import atomic_write, sweep_stale_tmp
 from repro.uarch.isa import DEST_REGISTER_TYPE, ISSUE_DOMAIN_INDEX, NUM_CLASSES
 from repro.uarch.trace import InstructionBlock, TraceStream
 
@@ -338,6 +338,10 @@ class TraceStore:
         )
         self.enabled = enabled
         self._memo = LockedLRU(memo_entries)
+        if enabled:
+            # Crashed writers leave ``*.tmp`` siblings behind; reap the
+            # stale ones (age-gated, so live writers are untouched).
+            sweep_stale_tmp(self.directory)
 
     @property
     def memo_entries(self) -> int:

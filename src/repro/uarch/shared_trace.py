@@ -269,3 +269,18 @@ def detach_all() -> None:
     for key in list(_ATTACHED):
         segment = _ATTACHED.pop(key)
         segment.close()
+
+
+def emergency_cleanup() -> None:
+    """Interrupt-time teardown: unlink every export, drop every attach.
+
+    The CLI's Ctrl-C boundary calls this *synchronously* before
+    exiting: the ``atexit`` guard is only a backstop (it never runs
+    when the process dies to an unhandled signal or ``os._exit``), and
+    a long-lived parent process — a shell loop, a campaign driver —
+    must not accumulate ``/dev/shm`` segments across interrupted
+    sweeps.  Safe to call at any time, in any process role, repeatedly:
+    owners unlink their segments, workers merely close their mappings.
+    """
+    unlink_exported()
+    detach_all()

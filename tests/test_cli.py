@@ -127,6 +127,26 @@ class TestSweepErrorPaths:
         assert rc == 2
         assert "bogus" in capsys.readouterr().err
 
+    def test_malformed_repro_backend(self, capsys, monkeypatch):
+        # The bad value must be rejected when the orchestrator is
+        # built, before any cell runs — not deep inside run().
+        monkeypatch.setenv("REPRO_BACKEND", "quantum")
+        rc = main(["sweep", "--benchmarks", "adpcm", "--configurations", "sync"])
+        assert rc == 2
+        assert "REPRO_BACKEND" in capsys.readouterr().err
+
+    def test_malformed_repro_batch(self, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_BATCH", "heaps")
+        rc = main(["sweep", "--benchmarks", "adpcm", "--configurations", "sync"])
+        assert rc == 2
+        assert "REPRO_BATCH" in capsys.readouterr().err
+
+    def test_malformed_repro_start_method(self, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_START_METHOD", "teleport")
+        rc = main(["sweep", "--benchmarks", "adpcm", "--configurations", "sync"])
+        assert rc == 2
+        assert "REPRO_START_METHOD" in capsys.readouterr().err
+
 
 class TestTraceCommands:
     """export-trace / import-trace, including the failure paths."""

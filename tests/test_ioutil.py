@@ -12,6 +12,7 @@ from __future__ import annotations
 
 import os
 import stat
+import time
 
 import pytest
 
@@ -93,3 +94,87 @@ class TestFsyncOrdering:
             with atomic_write(target, "w") as handle:
                 handle.write("lost")
         assert not target.exists()
+
+
+class TestAppendLine:
+    def test_appends_newline_terminated_records(self, tmp_path):
+        from repro.ioutil import append_line
+
+        journal = tmp_path / "deep" / "journal.jsonl"
+        append_line(journal, "one")
+        append_line(journal, "two\n")  # caller-supplied newline not doubled
+        assert journal.read_text() == "one\ntwo\n"
+
+    def test_record_is_fsynced(self, tmp_path, monkeypatch):
+        from repro.ioutil import append_line
+
+        synced = []
+        real_fsync = os.fsync
+        monkeypatch.setattr(
+            os, "fsync", lambda fd: (synced.append(fd), real_fsync(fd))[1]
+        )
+        append_line(tmp_path / "journal.jsonl", "entry")
+        assert synced, "append_line returned without fsyncing the record"
+
+
+class TestStaleTmpSweep:
+    """Crashed writers' *.tmp droppings are reaped, live ones spared."""
+
+    def _plant(self, directory, name, age_seconds):
+        path = directory / name
+        path.write_text("partial")
+        old = time.time() - age_seconds
+        os.utime(path, (old, old))
+        return path
+
+    def test_removes_stale_keeps_fresh_and_non_tmp(self, tmp_path):
+        from repro.ioutil import sweep_stale_tmp
+
+        stale = self._plant(tmp_path, "entry.abc123.tmp", 7200)
+        fresh = self._plant(tmp_path, "entry.def456.tmp", 5)
+        data = tmp_path / "entry.json"
+        data.write_text("{}")
+
+        removed = sweep_stale_tmp(tmp_path, once_per_process=False)
+
+        assert removed == 1
+        assert not stale.exists()
+        assert fresh.exists(), "a live writer's tmp file was reaped"
+        assert data.exists()
+
+    def test_swept_once_per_process_by_default(self, tmp_path):
+        from repro.ioutil import sweep_stale_tmp
+
+        self._plant(tmp_path, "first.xyz.tmp", 7200)
+        assert sweep_stale_tmp(tmp_path) == 1
+        # Second plant after the memoised sweep stays: the constructor
+        # path scans each directory once per process.
+        self._plant(tmp_path, "second.xyz.tmp", 7200)
+        assert sweep_stale_tmp(tmp_path) == 0
+
+    def test_missing_directory_is_noop(self, tmp_path):
+        from repro.ioutil import sweep_stale_tmp
+
+        assert sweep_stale_tmp(tmp_path / "nonexistent",
+                               once_per_process=False) == 0
+
+    def test_cache_store_open_sweeps(self, tmp_path):
+        from repro.experiments.cache import CacheStore
+
+        stale = self._plant(tmp_path, "deadbeef.ghi789.tmp", 7200)
+        CacheStore(directory=tmp_path)
+        assert not stale.exists()
+
+    def test_resultdb_open_sweeps(self, tmp_path):
+        from repro.resultdb import ResultDB
+
+        db = ResultDB(tmp_path)
+        db.runs_dir.mkdir(parents=True, exist_ok=True)
+        stale = self._plant(db.runs_dir, "run.jkl012.tmp", 7200)
+        # Sweeps are memoised per directory per process, so open a
+        # second store on a fresh view of the same path.
+        from repro.ioutil import _SWEPT_DIRS
+
+        _SWEPT_DIRS.discard(db.runs_dir)
+        ResultDB(tmp_path)
+        assert not stale.exists()
