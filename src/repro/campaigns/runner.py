@@ -25,6 +25,8 @@ from typing import Callable
 from repro.campaigns.journal import CampaignJournal, JournalState
 from repro.campaigns.spec import CampaignSpec
 from repro.errors import CampaignError
+from repro.execution.bus import EventBus
+from repro.execution.events import CellFailed, CellFinished, JobEvent
 from repro.experiments.orchestrator import Orchestrator
 from repro.experiments.results import ResultSet, RunOutcome
 from repro.experiments.scenario import Scenario
@@ -122,6 +124,7 @@ class CampaignRunner:
         resume: bool = False,
         force: bool = False,
         on_result: Callable[[int, RunOutcome], None] | None = None,
+        bus: EventBus | None = None,
     ) -> CampaignReport:
         """Execute the campaign (or what remains of it).
 
@@ -129,10 +132,19 @@ class CampaignRunner:
         restored, quarantined failures re-queued, pending cells
         executed.  Without ``resume`` a journal with prior progress is
         an error — an overnight campaign must never be half-restarted
-        by accident — unless ``force`` discards it.  ``on_result``
-        fires after each cell is journalled (progress displays; an
-        exception it raises cancels the campaign like Ctrl-C, which the
-        interrupt tests exploit).
+        by accident — unless ``force`` discards it.
+
+        The checkpoint is an event subscriber: the runner attaches its
+        journalling handler to ``bus`` (its own private
+        :class:`~repro.execution.bus.EventBus` when none is supplied)
+        and the orchestrator publishes each cell's
+        ``CellFinished``/``CellFailed`` through it.  Additional
+        subscribers on a caller-supplied bus (progress printers, the
+        serve daemon's stream buffers) observe exactly the journalled
+        stream.  ``on_result`` still fires after each cell is
+        journalled (progress displays; an exception it raises cancels
+        the campaign like Ctrl-C, which the interrupt tests exploit) —
+        the same lever a raising subscriber has.
 
         A :class:`KeyboardInterrupt` propagates to the caller *after*
         the backends cancel and the journal holds every completed cell;
@@ -170,8 +182,11 @@ class CampaignRunner:
                 key = _scenario_key(matrix[index])
                 index_queues.setdefault(key, deque()).append(index)
 
-            def checkpoint(outcome: RunOutcome) -> None:
+            def checkpoint(event: JobEvent) -> None:
                 nonlocal executed
+                if not isinstance(event, (CellFinished, CellFailed)):
+                    return
+                outcome = event.outcome
                 queue = index_queues.get(_scenario_key(outcome.scenario))
                 if not queue:  # pragma: no cover - orchestrator contract
                     logger.warning(
@@ -186,10 +201,15 @@ class CampaignRunner:
                 if on_result is not None:
                     on_result(index, outcome)
 
-            orchestrator = Orchestrator(
-                on_result=checkpoint, **self.spec.orchestrator_kwargs()
-            )
-            orchestrator.run([matrix[i] for i in pending])
+            events = bus if bus is not None else EventBus()
+            job_id = f"campaign:{self.spec.name}"
+            with events.subscribed(checkpoint, job=job_id):
+                orchestrator = Orchestrator(
+                    events=events,
+                    job_id=job_id,
+                    **self.spec.orchestrator_kwargs(),
+                )
+                orchestrator.run([matrix[i] for i in pending])
 
         ordered = ResultSet([outcomes[i] for i in sorted(outcomes)])
         succeeded = sum(1 for o in ordered if o.ok)

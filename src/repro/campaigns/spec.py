@@ -42,7 +42,7 @@ from __future__ import annotations
 
 import hashlib
 import json
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from pathlib import Path
 from typing import Mapping, Sequence
 
@@ -277,6 +277,29 @@ class CampaignSpec:
             scale=self.scale,
             name=self.name,
         )
+
+    def with_execution(
+        self,
+        backend: str | None = None,
+        workers: int | str | None = None,
+        batch: int | str | None = None,
+    ) -> "CampaignSpec":
+        """A copy with execution knobs overridden (None keeps the file's).
+
+        Safe on a resumed campaign by construction: :attr:`spec_hash`
+        deliberately excludes backend/workers/batch, so an override
+        never invalidates a journal.  Values are *not* validated here —
+        the orchestrator constructor rejects unknown backends and
+        malformed counts, which the CLI maps to exit 2.
+        """
+        updates = {}
+        if backend is not None:
+            updates["backend"] = backend
+        if workers is not None:
+            updates["workers"] = workers
+        if batch is not None:
+            updates["batch"] = batch
+        return replace(self, **updates) if updates else self
 
     def orchestrator_kwargs(self) -> dict:
         """Constructor kwargs for the campaign's :class:`Orchestrator`."""

@@ -37,8 +37,13 @@ Commands
 ``campaign run|status|resume FILE``
     Execute a declarative TOML campaign with checkpointed progress:
     ``run --dry-run`` prints the expanded cell plan, ``status`` reads
-    the journal, ``resume`` restores completed cells and re-queues
-    quarantined failures after any interruption.
+    the journal (``--json`` for the daemon payload shape), ``resume``
+    restores completed cells and re-queues quarantined failures after
+    any interruption.  Handlers live in :mod:`repro.cli_campaign`.
+``serve``
+    Run the HTTP sweep daemon: submit jobs, stream their typed event
+    streams as NDJSON, fetch results, cancel mid-flight.  Handlers
+    live in :mod:`repro.cli_serve`.
 
 Exit codes follow one convention across verbs: 0 success, 1 completed
 with failures (failed runs, quarantined cells, regressed metrics), 2
@@ -55,10 +60,11 @@ import sys
 from pathlib import Path
 from typing import Sequence
 
+from repro.cli_campaign import _interrupt_cleanup, register_campaign_parser
+from repro.cli_serve import register_serve_parser
 from repro.config.algorithm import AttackDecayParams, SCALED_OPERATING_POINT
 from repro.control.hardware_cost import estimate_attack_decay_hardware
 from repro.errors import (
-    CampaignError,
     ExperimentError,
     ResultDBError,
     TraceError,
@@ -277,138 +283,6 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         path.write_text(json.dumps(results.to_dict(), indent=1))
         print(f"\nwrote {path}")
     return 1 if results.errors else 0
-
-
-def _campaign_dry_run(runner) -> int:
-    """Print the expanded cell plan without running anything."""
-    spec = runner.spec
-    plans = runner.plan()
-    # Constructing the orchestrator validates every execution knob
-    # (backend, workers, batch, start method, REPRO_* defaults) before
-    # the user commits a night to the campaign.
-    Orchestrator(**spec.orchestrator_kwargs())
-    rows = [
-        (str(p.index), p.scenario.run_id, p.status) for p in plans
-    ]
-    print(
-        format_table(
-            ["Cell", "Scenario", "Status"],
-            rows,
-            title=f"Campaign '{spec.name}' plan ({len(plans)} cells, dry run)",
-        )
-    )
-    pending = sum(1 for p in plans if p.status != "done")
-    print(f"\ncampaign file: {spec.source}")
-    print(f"output dir:    {spec.campaign_dir}")
-    print(f"journal:       {spec.journal_path}")
-    print(f"spec hash:     {spec.spec_hash}")
-    print(
-        f"execution:     backend={spec.backend or 'auto'} "
-        f"workers={spec.workers or 1} batch={spec.batch or 'auto'}"
-    )
-    print(f"\n{pending} cell(s) would execute; nothing was run.")
-    return 0
-
-
-def _campaign_status(runner) -> int:
-    """Summarise journalled progress; 0 only when fully complete and ok."""
-    spec = runner.spec
-    if not runner.journal.exists():
-        print(
-            f"campaign '{spec.name}': not started "
-            f"(no journal at {spec.journal_path})"
-        )
-        return 1
-    plans = runner.plan()
-    done = sum(1 for p in plans if p.status == "done")
-    quarantined = [p for p in plans if p.status == "quarantined"]
-    pending = len(plans) - done - len(quarantined)
-    print(
-        f"campaign '{spec.name}': {done}/{len(plans)} cells done, "
-        f"{len(quarantined)} quarantined, {pending} pending"
-    )
-    print(f"journal: {spec.journal_path}")
-    if quarantined:
-        state = runner.state()
-        rows = []
-        for plan in quarantined:
-            error = state.quarantined[plan.index].error or ""
-            rows.append(
-                (str(plan.index), plan.scenario.run_id,
-                 error.strip().splitlines()[-1][:60] if error else "")
-            )
-        print()
-        print(
-            format_table(
-                ["Cell", "Scenario", "Error"],
-                rows,
-                title="Quarantined cells (re-queued by 'campaign resume')",
-            )
-        )
-    if pending or quarantined:
-        print(f"\ncontinue with: repro campaign resume {spec.source}")
-        return 1
-    return 0
-
-
-def _cmd_campaign(args: argparse.Namespace) -> int:
-    from repro.campaigns import CampaignRunner, CampaignSpec
-
-    if getattr(args, "verbose", False):
-        logging.basicConfig(
-            level=logging.INFO, format="%(levelname)s %(message)s"
-        )
-    try:
-        spec = CampaignSpec.load(args.file, output_dir=args.output)
-        runner = CampaignRunner(spec)
-        if args.action == "status":
-            return _campaign_status(runner)
-        if args.action == "run" and args.dry_run:
-            return _campaign_dry_run(runner)
-        report = runner.run(
-            resume=args.action == "resume",
-            force=getattr(args, "force", False),
-        )
-    except (CampaignError, ExperimentError) as exc:
-        print(f"campaign: error: {exc}", file=sys.stderr)
-        return 2
-    except KeyboardInterrupt:
-        # Completed cells are already durably journalled; release the
-        # shared-memory segments now (the atexit guard never runs if a
-        # parent loop keeps this interpreter alive) and exit 130.
-        _interrupt_cleanup()
-        print(
-            f"\ncampaign: interrupted — progress checkpointed in "
-            f"{spec.journal_path}; continue with "
-            f"'repro campaign resume {args.file}'",
-            file=sys.stderr,
-        )
-        return 130
-    print(report.summary_line())
-    for outcome in report.results.errors:
-        print(f"\nQUARANTINED {outcome.scenario.run_id}:\n{outcome.error}")
-    if report.results_path is not None:
-        print(f"results: {report.results_path}")
-    return 0 if report.ok else 1
-
-
-def _interrupt_cleanup() -> None:
-    """Synchronous shared-memory teardown for the Ctrl-C path.
-
-    The orchestrator's backends have already cancelled their work by
-    the time an interrupt reaches the CLI; what can remain are exported
-    ``/dev/shm`` trace segments whose atexit backstop only fires at
-    interpreter exit — too late when the CLI is embedded in a larger
-    process, and worth doing eagerly even when it is not.
-    """
-    from repro.uarch.shared_trace import emergency_cleanup
-
-    try:
-        emergency_cleanup()
-    except Exception:  # noqa: BLE001 - never mask the 130 exit
-        logging.getLogger(__name__).warning(
-            "shared-memory cleanup failed during interrupt", exc_info=True
-        )
 
 
 def _cmd_compare(args: argparse.Namespace) -> int:
@@ -880,54 +754,8 @@ def build_parser() -> argparse.ArgumentParser:
     add_db_argument(chk_p)
     chk_p.set_defaults(func=_cmd_check)
 
-    camp_p = sub.add_parser(
-        "campaign",
-        help="run a declarative TOML campaign with checkpointed progress",
-    )
-    camp_sub = camp_p.add_subparsers(dest="action", required=True)
-
-    def add_campaign_arguments(parser_: argparse.ArgumentParser) -> None:
-        parser_.add_argument("file", help="campaign TOML file")
-        parser_.add_argument(
-            "--output",
-            default=None,
-            help="campaign directory (default: the file's [campaign] output)",
-        )
-
-    camp_run = camp_sub.add_parser(
-        "run", help="execute the campaign from scratch"
-    )
-    add_campaign_arguments(camp_run)
-    camp_run.add_argument(
-        "--dry-run",
-        action="store_true",
-        help="print the expanded cell plan and exit without running",
-    )
-    camp_run.add_argument(
-        "--force",
-        action="store_true",
-        help="discard any journalled progress and restart from scratch",
-    )
-    camp_run.add_argument(
-        "--verbose", action="store_true", help="progress logging"
-    )
-    camp_run.set_defaults(func=_cmd_campaign)
-
-    camp_status = camp_sub.add_parser(
-        "status", help="summarise journalled progress without running"
-    )
-    add_campaign_arguments(camp_status)
-    camp_status.set_defaults(func=_cmd_campaign)
-
-    camp_resume = camp_sub.add_parser(
-        "resume",
-        help="continue an interrupted campaign from its journal",
-    )
-    add_campaign_arguments(camp_resume)
-    camp_resume.add_argument(
-        "--verbose", action="store_true", help="progress logging"
-    )
-    camp_resume.set_defaults(func=_cmd_campaign)
+    register_campaign_parser(sub)
+    register_serve_parser(sub)
     return parser
 
 

@@ -55,17 +55,36 @@ pages instead of re-reading ``.npz`` stores or regenerating workloads.
 Segments are unlinked in a ``finally`` when the sweep ends, with an
 ``atexit`` guard covering crashed sweeps.
 
+Lifecycle events
+----------------
+Beside (and back-compatibly alongside) the bare ``on_result``
+callback, the orchestrator publishes typed lifecycle events on an
+:class:`~repro.execution.bus.EventBus` when one is supplied:
+:class:`~repro.execution.events.CellStarted` when a cell is picked up,
+then :class:`~repro.execution.events.CellFinished` or
+:class:`~repro.execution.events.CellFailed` carrying the full
+:class:`RunOutcome`.  The campaign journal checkpoint, the CLI
+progress printer, and the ``repro serve`` daemon's job streams are all
+plain subscribers — no consumer hand-wires callbacks into the run loop
+any more.  Start events are best-effort per backend (the process pool
+cannot observe its workers' starts, so it announces start and finish
+together on arrival); per cell, started always precedes finished.
+
 Cancellation
 ------------
-Interruption (Ctrl-C, or an ``on_result`` hook raising) is a
-first-class event, not a crash: the thread backend cancels every
+Interruption (Ctrl-C, an ``on_result`` hook or event subscriber
+raising, or a :class:`~repro.execution.cancel.CancelToken` firing) is
+a first-class event, not a crash: the thread backend cancels every
 queued future (running ones finish their current simulation), the
 process backend terminates and joins its pool, and the shared-memory
 segments are unlinked synchronously before the exception propagates.
-Outcomes already announced through ``on_result`` stay announced — a
-checkpointing caller (:mod:`repro.campaigns`) therefore loses at most
-the in-flight runs, which the content-addressed cache makes idempotent
-to re-execute.
+A cancel token is checked between cells on the serial backend and at
+task pickup plus every future completion on the pools, raising
+:class:`~repro.execution.cancel.ExecutionCancelled` through the same
+cleanup rails as Ctrl-C.  Outcomes already announced stay announced —
+a checkpointing caller (:mod:`repro.campaigns`) therefore loses at
+most the in-flight runs, which the content-addressed cache makes
+idempotent to re-execute.
 """
 
 from __future__ import annotations
@@ -81,6 +100,9 @@ from pathlib import Path
 from typing import Callable, Iterable, Sequence
 
 from repro.errors import ExperimentError
+from repro.execution.bus import EventBus
+from repro.execution.cancel import CancelToken, ExecutionCancelled
+from repro.execution.events import CellFailed, CellFinished, CellStarted
 from repro.experiments.executor import (
     ExecutionContext,
     benchmark_scale,
@@ -194,6 +216,8 @@ def _init_worker(state: dict) -> None:
     are logged inside :func:`~repro.uarch.shared_trace
     .install_shared_traces` and fall back to local trace builds.
     """
+    import signal
+
     from repro.experiments.registry import (
         CLOCKING_MODES,
         CONFIGURATIONS,
@@ -202,6 +226,11 @@ def _init_worker(state: dict) -> None:
     from repro.uarch.shared_trace import install_shared_traces
     from repro.workloads.catalog import restore_runtime_benchmarks
 
+    # Pool teardown delivers SIGTERM; a forked worker inherits whatever
+    # handler the parent installed (the serve daemon maps SIGTERM to
+    # KeyboardInterrupt), which would turn every cancel into a worker
+    # traceback.  Workers always die silently on terminate.
+    signal.signal(signal.SIGTERM, signal.SIG_DFL)
     restore_runtime_benchmarks(state["benchmarks"])
     CONFIGURATIONS.restore(state["configurations"])
     CONTROLLERS.restore(state["controllers"])
@@ -248,6 +277,24 @@ class Orchestrator:
         per backend — see the module docstring) or None to defer to
         ``REPRO_BATCH``.  Cells are clamped to the matrix, grouped by
         trace identity, and never change results.
+    events:
+        Optional :class:`~repro.execution.bus.EventBus` to publish
+        lifecycle events on (see the module docstring).  Subscriber
+        exceptions cancel the run like Ctrl-C.
+    job_id:
+        The job name stamped on every published event (the daemon's
+        job id; ``"local"`` for direct callers).
+    cancel:
+        Optional :class:`~repro.execution.cancel.CancelToken`; when it
+        fires, the run raises
+        :class:`~repro.execution.cancel.ExecutionCancelled` at the
+        next preemption point after cleaning up its backend.
+    context:
+        Optional shared :class:`ExecutionContext` for the serial and
+        thread backends (the daemon injects one so every job shares
+        one warm result/trace cache and its single-flight dedup).  The
+        process backend ignores it — workers build their own contexts
+        and share through the on-disk store instead.
     """
 
     def __init__(
@@ -261,6 +308,10 @@ class Orchestrator:
         backend: str | None = None,
         start_method: str | None = None,
         batch: int | str | None = None,
+        events: EventBus | None = None,
+        job_id: str = "local",
+        cancel: CancelToken | None = None,
+        context: ExecutionContext | None = None,
     ) -> None:
         self.workers = (
             default_workers() if workers is None else parse_workers(workers)
@@ -270,6 +321,10 @@ class Orchestrator:
         self.seed = seed
         self.use_cache = use_cache
         self.on_result = on_result
+        self.events = events
+        self.job_id = job_id
+        self.cancel = cancel
+        self.context = context
         if backend is not None and backend not in BACKENDS:
             raise ExperimentError(
                 f"unknown backend {backend!r}; expected one of {', '.join(BACKENDS)}"
@@ -349,12 +404,28 @@ class Orchestrator:
         return cells
 
     def _context(self) -> ExecutionContext:
+        if self.context is not None:
+            return self.context
         return ExecutionContext(
             cache_dir=self.cache_dir,
             scale=self.scale,
             seed=self.seed,
             use_cache=self.use_cache,
         )
+
+    # --- events and cancellation -------------------------------------------
+    def _check_cancel(self) -> None:
+        """Raise :class:`ExecutionCancelled` if this run's token fired."""
+        if self.cancel is not None and self.cancel.cancelled:
+            raise ExecutionCancelled(f"job {self.job_id!r} cancelled")
+
+    def _emit_started(self, cell: int, total: int, scenario: Scenario) -> None:
+        if self.events is not None:
+            self.events.publish(
+                CellStarted(
+                    job=self.job_id, cell=cell, total=total, run_id=scenario.run_id
+                )
+            )
 
     def run(self, matrix: Suite | Sequence[Scenario]) -> ResultSet:
         """Execute every scenario; returns outcomes in matrix order."""
@@ -375,11 +446,12 @@ class Orchestrator:
                 outcomes = self._run_threaded(scenarios, batch)
             else:
                 outcomes = self._run_parallel(scenarios, batch)
-        except KeyboardInterrupt:
+        except (KeyboardInterrupt, ExecutionCancelled):
             # Workers are already cancelled/terminated by the backend
             # and the shared segments unlinked; announce the
             # interruption and let the caller decide the exit path
-            # (the CLI exits 130, campaigns checkpoint and re-raise).
+            # (the CLI exits 130, campaigns checkpoint and re-raise,
+            # the job manager emits a terminal JobCancelled event).
             logger.warning(
                 "%s: interrupted after %.1fs; cancelled remaining runs",
                 label, time.perf_counter() - started,
@@ -394,12 +466,28 @@ class Orchestrator:
         return ResultSet(outcomes)
 
     # --- execution strategies ---------------------------------------------
-    def _announce(self, outcome: RunOutcome, index: int, total: int) -> None:
+    def _announce(
+        self, outcome: RunOutcome, cell: int, done: int, total: int
+    ) -> None:
+        """Publish one completed cell: log, event stream, callback.
+
+        ``cell`` is the outcome's position in the submitted matrix
+        (what events carry); ``done`` is the completion counter (what
+        the progress log shows).  Events go out before the legacy
+        ``on_result`` callback so a subscriber that checkpoints and a
+        callback that prints observe the same order the matrix
+        completes in.
+        """
         status = "ok" if outcome.ok else "FAILED"
-        logger.info("[%d/%d] %s %s", index + 1, total, outcome.scenario.run_id, status)
+        logger.info("[%d/%d] %s %s", done + 1, total, outcome.scenario.run_id, status)
         if not outcome.ok:
             logger.warning(
                 "run %s failed:\n%s", outcome.scenario.run_id, outcome.error
+            )
+        if self.events is not None:
+            cls = CellFinished if outcome.ok else CellFailed
+            self.events.publish(
+                cls(job=self.job_id, cell=cell, total=total, outcome=outcome)
             )
         if self.on_result is not None:
             self.on_result(outcome)
@@ -412,17 +500,22 @@ class Orchestrator:
         if batch <= 1:
             outcomes = []
             for i, scenario in enumerate(scenarios):
+                self._check_cancel()
+                self._emit_started(i, total, scenario)
                 outcome = ctx.run_isolated(scenario)
-                self._announce(outcome, i, total)
+                self._announce(outcome, i, i, total)
                 outcomes.append(outcome)
             return outcomes
         ordered: list[RunOutcome | None] = [None] * total
         done = 0
         for indices in self._batch_cells(scenarios, batch):
+            self._check_cancel()
+            for index in indices:
+                self._emit_started(index, total, scenarios[index])
             cell = ctx.run_batch([scenarios[i] for i in indices])
             for index, outcome in zip(indices, cell):
                 ordered[index] = outcome
-                self._announce(outcome, done, total)
+                self._announce(outcome, index, done, total)
                 done += 1
         assert all(o is not None for o in ordered)
         return ordered  # type: ignore[return-value]
@@ -441,6 +534,22 @@ class Orchestrator:
         ctx = self._context()
         total = len(scenarios)
         ordered: list[RunOutcome | None] = [None] * total
+
+        def run_one(index: int, scenario: Scenario) -> RunOutcome:
+            # Task pickup is a preemption point: once the token fires,
+            # every queued cell raises here instead of simulating, and
+            # the completion loop's shutdown(cancel_futures=True) drops
+            # the rest.
+            self._check_cancel()
+            self._emit_started(index, total, scenario)
+            return ctx.run_isolated(scenario)
+
+        def run_cell(indices: list[int]) -> list[RunOutcome]:
+            self._check_cancel()
+            for index in indices:
+                self._emit_started(index, total, scenarios[index])
+            return ctx.run_batch([scenarios[i] for i in indices])
+
         done = 0
         if batch <= 1:
             with ThreadPoolExecutor(
@@ -449,14 +558,15 @@ class Orchestrator:
             ) as pool:
                 try:
                     futures = {
-                        pool.submit(ctx.run_isolated, scenario): index
+                        pool.submit(run_one, index, scenario): index
                         for index, scenario in enumerate(scenarios)
                     }
                     for future in as_completed(futures):
                         outcome = future.result()
                         ordered[futures[future]] = outcome
-                        self._announce(outcome, done, total)
+                        self._announce(outcome, futures[future], done, total)
                         done += 1
+                        self._check_cancel()
                 except BaseException:
                     # Ctrl-C (or an on_result hook raising): without
                     # the explicit cancel, the executor's __exit__
@@ -473,16 +583,15 @@ class Orchestrator:
         ) as pool:
             try:
                 futures = {
-                    pool.submit(
-                        ctx.run_batch, [scenarios[i] for i in indices]
-                    ): indices
+                    pool.submit(run_cell, indices): indices
                     for indices in cells
                 }
                 for future in as_completed(futures):
                     for index, outcome in zip(futures[future], future.result()):
                         ordered[index] = outcome
-                        self._announce(outcome, done, total)
+                        self._announce(outcome, index, done, total)
                         done += 1
+                    self._check_cancel()
             except BaseException:
                 pool.shutdown(wait=True, cancel_futures=True)
                 raise
@@ -565,6 +674,7 @@ class Orchestrator:
         total = len(scenarios)
         ordered: list[RunOutcome | None] = [None] * total
         done = 0
+        self._check_cancel()
         try:
             if batch <= 1:
                 jobs: Iterable[tuple] = [
@@ -580,13 +690,20 @@ class Orchestrator:
                         for index, outcome in pool.imap_unordered(
                             _pool_entry, jobs
                         ):
+                            # Worker starts are invisible across the
+                            # process boundary; announce start and
+                            # finish together on arrival so the
+                            # per-cell ordering contract holds.
+                            self._emit_started(index, total, scenarios[index])
                             ordered[index] = outcome
-                            self._announce(outcome, done, total)
+                            self._announce(outcome, index, done, total)
                             done += 1
+                            self._check_cancel()
                     except BaseException:
-                        # Ctrl-C: kill in-flight workers now and wait
-                        # for them — never strand a pool behind a
-                        # propagating interrupt.
+                        # Ctrl-C or a fired cancel token: kill
+                        # in-flight workers now and wait for them —
+                        # never strand a pool behind a propagating
+                        # interrupt.
                         pool.terminate()
                         pool.join()
                         raise
@@ -613,9 +730,13 @@ class Orchestrator:
                             _pool_entry_batch, cell_jobs
                         ):
                             for index, outcome in zip(indices, outcomes):
+                                self._emit_started(
+                                    index, total, scenarios[index]
+                                )
                                 ordered[index] = outcome
-                                self._announce(outcome, done, total)
+                                self._announce(outcome, index, done, total)
                                 done += 1
+                            self._check_cancel()
                     except BaseException:
                         pool.terminate()
                         pool.join()

@@ -4,10 +4,10 @@
 the CLI's ``--version`` flag both track it.
 
 >>> __version__
-'1.8.0'
+'1.9.0'
 """
 
-__version__ = "1.8.0"
+__version__ = "1.9.0"
 
 #: The reproduced paper.
 PAPER_TITLE = (
